@@ -1,0 +1,53 @@
+// E11 — Ablation (extension): star vs chain decomposition of multi-pin
+// nets (§2 of the paper only requires *some* 2-pin decomposition). The
+// choice changes global wirelength, channel congestion, the conflict
+// graph, and ultimately the minimum routable width W*.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "flow/detailed_router.h"
+
+int main() {
+  using namespace satfr;
+  const std::vector<std::string> names = bench::BenchInstanceNames();
+
+  std::printf("== Star vs chain 2-pin decomposition ==\n\n");
+  std::printf("%-12s  %6s  %10s  %8s  %6s      %6s  %10s  %8s  %6s\n",
+              "benchmark", "[star]", "wirelen", "edges", "W*", "[chain]",
+              "wirelen", "edges", "W*");
+
+  for (const std::string& name : names) {
+    const netlist::McncBenchmark bench =
+        netlist::GenerateMcncBenchmark(name);
+    const fpga::Arch arch(bench.params.grid_size);
+    const fpga::DeviceGraph device(arch);
+    std::printf("%-12s", name.c_str());
+    for (const route::Decomposition decomposition :
+         {route::Decomposition::kStar, route::Decomposition::kChain}) {
+      route::GlobalRouterOptions router_options;
+      router_options.decomposition = decomposition;
+      const route::GlobalRouting routing = route::RouteGlobally(
+          device, bench.netlist, bench.placement, router_options);
+      const graph::Graph conflict = flow::BuildConflictGraph(arch, routing);
+      flow::MinWidthOptions mw;
+      mw.route.encoding = encode::GetEncoding("ITE-linear-2+muldirect");
+      mw.route.heuristic = symmetry::Heuristic::kS1;
+      mw.route.timeout_seconds = 60.0 * bench::BenchTimeoutSeconds();
+      const flow::MinWidthResult result = flow::FindMinimumWidthOnGraph(
+          conflict, route::PeakCongestion(arch, routing), mw);
+      std::printf("  %6s  %10zu  %8zu  %6d",
+                  route::ToString(decomposition), routing.TotalWirelength(),
+                  conflict.num_edges(), result.min_width);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nStar keeps every connection anchored at the driver (long spokes, "
+      "heavier channels near\nthe source); the chain trades that for "
+      "serial detours. Which one needs fewer tracks is\nbenchmark-"
+      "dependent — the SAT flow answers it exactly either way.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E8 — Micro-benchmarks (google-benchmark) for the hot paths of the
+// pipeline: domain encoding, coloring->CNF compilation, conflict-graph
+// extraction, maze routing, and the SAT solver on a fixed instance family.
+#include <benchmark/benchmark.h>
+
+#include "encode/csp_to_cnf.h"
+#include "encode/registry.h"
+#include "flow/conflict_graph.h"
+#include "netlist/mcnc_suite.h"
+#include "route/global_router.h"
+#include "sat/solver.h"
+
+namespace {
+
+using namespace satfr;
+
+void BM_EncodeDomain(benchmark::State& state,
+                     const std::string& encoding_name) {
+  const encode::EncodingSpec spec = encode::GetEncoding(encoding_name);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeDomain(spec, k));
+  }
+}
+BENCHMARK_CAPTURE(BM_EncodeDomain, muldirect, std::string("muldirect"))
+    ->Arg(8)
+    ->Arg(32);
+BENCHMARK_CAPTURE(BM_EncodeDomain, ite_linear_2_muldirect,
+                  std::string("ITE-linear-2+muldirect"))
+    ->Arg(8)
+    ->Arg(32);
+BENCHMARK_CAPTURE(BM_EncodeDomain, ite_log, std::string("ITE-log"))
+    ->Arg(8)
+    ->Arg(32);
+
+void BM_EncodeColoring(benchmark::State& state,
+                       const std::string& encoding_name) {
+  // A fixed random-ish graph: circulant on 80 vertices.
+  graph::Graph g(80);
+  for (graph::VertexId v = 0; v < 80; ++v) {
+    for (int offset : {1, 2, 5, 11}) {
+      g.AddEdge(v, (v + offset) % 80);
+    }
+  }
+  const encode::EncodingSpec spec = encode::GetEncoding(encoding_name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeColoring(g, 6, spec));
+  }
+}
+BENCHMARK_CAPTURE(BM_EncodeColoring, muldirect, std::string("muldirect"));
+BENCHMARK_CAPTURE(BM_EncodeColoring, ite_linear_2_muldirect,
+                  std::string("ITE-linear-2+muldirect"));
+
+void BM_GlobalRoute(benchmark::State& state) {
+  const netlist::McncBenchmark bench =
+      netlist::GenerateMcncBenchmark("9symml");
+  const fpga::Arch arch(bench.params.grid_size);
+  const fpga::DeviceGraph device(arch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        route::RouteGlobally(device, bench.netlist, bench.placement));
+  }
+}
+BENCHMARK(BM_GlobalRoute);
+
+void BM_ConflictGraph(benchmark::State& state) {
+  const netlist::McncBenchmark bench =
+      netlist::GenerateMcncBenchmark("term1");
+  const fpga::Arch arch(bench.params.grid_size);
+  const fpga::DeviceGraph device(arch);
+  const route::GlobalRouting routing =
+      route::RouteGlobally(device, bench.netlist, bench.placement);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::BuildConflictGraph(arch, routing));
+  }
+}
+BENCHMARK(BM_ConflictGraph);
+
+void BM_SolverPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  const int pigeons = holes + 1;
+  for (auto _ : state) {
+    sat::Solver solver;
+    sat::Cnf cnf(pigeons * holes);
+    const auto var = [holes](int p, int h) { return p * holes + h; };
+    for (int p = 0; p < pigeons; ++p) {
+      sat::Clause alo;
+      for (int h = 0; h < holes; ++h) {
+        alo.push_back(sat::Lit::Pos(var(p, h)));
+      }
+      cnf.AddClause(std::move(alo));
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < pigeons; ++p1) {
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+          cnf.AddBinary(sat::Lit::Neg(var(p1, h)),
+                        sat::Lit::Neg(var(p2, h)));
+        }
+      }
+    }
+    solver.AddCnf(cnf);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_SolverPigeonhole)->Arg(5)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

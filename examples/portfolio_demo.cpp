@@ -1,0 +1,71 @@
+// Parallel portfolio demo (§6): run the paper's 3-strategy portfolio
+// against the best single strategy on an unroutable configuration, with
+// the losing runs cancelled as soon as the winner returns.
+//
+// Usage:  ./build/examples/portfolio_demo [benchmark]
+#include <cstdio>
+#include <string>
+
+#include "flow/conflict_graph.h"
+#include "flow/min_width.h"
+#include "netlist/mcnc_suite.h"
+#include "portfolio/portfolio.h"
+#include "route/global_router.h"
+
+int main(int argc, char** argv) {
+  using namespace satfr;
+  const std::string benchmark = argc > 1 ? argv[1] : "term1";
+
+  const netlist::McncBenchmark bench =
+      netlist::GenerateMcncBenchmark(benchmark);
+  const fpga::Arch arch(bench.params.grid_size);
+  const fpga::DeviceGraph device(arch);
+  const route::GlobalRouting routing =
+      route::RouteGlobally(device, bench.netlist, bench.placement);
+  const graph::Graph conflict = flow::BuildConflictGraph(arch, routing);
+
+  flow::MinWidthOptions mw;
+  mw.route.encoding = encode::GetEncoding("ITE-linear-2+muldirect");
+  mw.route.heuristic = symmetry::Heuristic::kS1;
+  mw.route.timeout_seconds = 120.0;
+  const flow::MinWidthResult mw_result = flow::FindMinimumWidthOnGraph(
+      conflict, route::PeakCongestion(arch, routing), mw);
+  if (mw_result.min_width < 2) {
+    std::printf("no unroutable configuration for %s\n", benchmark.c_str());
+    return 1;
+  }
+  const int width = mw_result.min_width - 1;
+  std::printf("benchmark %s: proving unroutability at W = %d\n\n",
+              benchmark.c_str(), width);
+
+  // Best single strategy.
+  flow::DetailedRouteOptions single;
+  single.encoding = encode::GetEncoding("ITE-linear-2+muldirect");
+  single.heuristic = symmetry::Heuristic::kS1;
+  single.timeout_seconds = 120.0;
+  const auto single_result =
+      flow::RouteDetailedOnGraph(conflict, width, single);
+  std::printf("best single strategy (ITE-linear-2+muldirect/s1): %s in "
+              "%.3fs\n",
+              sat::ToString(single_result.status),
+              single_result.TotalSeconds());
+
+  // The paper's 3-strategy portfolio.
+  const auto strategies = portfolio::PaperPortfolio3();
+  const portfolio::PortfolioResult result =
+      portfolio::RunPortfolio(conflict, width, strategies, 120.0);
+  if (result.winner < 0) {
+    std::printf("portfolio timed out\n");
+    return 1;
+  }
+  std::printf("portfolio of %zu strategies: %s in %.3fs — winner: %s\n",
+              strategies.size(), sat::ToString(result.result.status),
+              result.wall_seconds,
+              strategies[static_cast<std::size_t>(result.winner)]
+                  .DisplayName()
+                  .c_str());
+  std::printf("\n(On a single-core machine the portfolio time-slices and "
+              "the gain shrinks;\nthe paper measured 2.30x on an idle "
+              "multicore CPU.)\n");
+  return 0;
+}

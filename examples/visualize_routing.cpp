@@ -1,0 +1,65 @@
+// Renders the routing fabric of a benchmark as ASCII art: first the
+// per-segment congestion of the global routing (distinct multi-pin nets per
+// channel segment — the quantity that lower-bounds the channel width), then
+// the track occupancy of the SAT detailed routing at W*.
+//
+// Usage:  ./build/examples/visualize_routing [benchmark]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flow/min_width.h"
+#include "fpga/render.h"
+#include "netlist/mcnc_suite.h"
+#include "route/global_router.h"
+
+int main(int argc, char** argv) {
+  using namespace satfr;
+  const std::string benchmark = argc > 1 ? argv[1] : "tiny";
+
+  const netlist::McncBenchmark bench =
+      netlist::GenerateMcncBenchmark(benchmark);
+  const fpga::Arch arch(bench.params.grid_size);
+  const fpga::DeviceGraph device(arch);
+  const route::GlobalRouting routing =
+      route::RouteGlobally(device, bench.netlist, bench.placement);
+
+  std::printf("benchmark %s on a %dx%d array\n\n", benchmark.c_str(),
+              arch.grid_size(), arch.grid_size());
+  std::printf("channel congestion (distinct nets per segment):\n%s\n",
+              fpga::RenderSegmentValues(
+                  arch, route::SegmentParentUsage(arch, routing))
+                  .c_str());
+
+  flow::MinWidthOptions options;
+  options.route.encoding = encode::GetEncoding("ITE-linear-2+muldirect");
+  options.route.heuristic = symmetry::Heuristic::kS1;
+  options.route.timeout_seconds = 120.0;
+  const flow::MinWidthResult result = flow::FindMinimumWidth(arch, routing,
+                                                             options);
+  if (result.min_width < 0) {
+    std::printf("W* search timed out\n");
+    return 1;
+  }
+  std::printf("detailed routing at W* = %d: tracks in use per segment:\n",
+              result.min_width);
+  // Count occupied tracks per segment under the SAT assignment.
+  std::vector<int> occupied(static_cast<std::size_t>(arch.num_segments()),
+                            0);
+  std::vector<std::vector<bool>> track_used(
+      static_cast<std::size_t>(arch.num_segments()),
+      std::vector<bool>(static_cast<std::size_t>(result.min_width), false));
+  for (std::size_t i = 0; i < routing.routes.size(); ++i) {
+    const int track = result.routable.tracks[i];
+    for (const fpga::SegmentIndex seg : routing.routes[i]) {
+      auto& used = track_used[static_cast<std::size_t>(seg)];
+      if (!used[static_cast<std::size_t>(track)]) {
+        used[static_cast<std::size_t>(track)] = true;
+        ++occupied[static_cast<std::size_t>(seg)];
+      }
+    }
+  }
+  std::printf("%s\n", fpga::RenderSegmentValues(arch, occupied).c_str());
+  std::printf("(legend: '.' idle, digits = used tracks, '*' >= 10)\n");
+  return 0;
+}

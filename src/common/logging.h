@@ -1,0 +1,55 @@
+// Minimal leveled logging for the satfr library.
+//
+// Logging is intentionally tiny: benches and examples print their own tables;
+// library code only emits diagnostics that a downstream user can silence by
+// lowering the global level. Thread-safe (a single mutex serializes writes).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace satfr {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+/// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global threshold.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Writes one formatted line ("[level] message\n") to stderr if enabled.
+void LogLine(LogLevel level, const std::string& message);
+
+// Stream-style collector so call sites can write LOG(kInfo) << "x=" << x;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace satfr
+
+#define SATFR_LOG(level) \
+  ::satfr::internal::LogMessage(::satfr::LogLevel::level)

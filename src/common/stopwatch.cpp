@@ -1,0 +1,16 @@
+#include "common/stopwatch.h"
+
+#include <limits>
+
+namespace satfr {
+
+double Deadline::RemainingSeconds() const {
+  if (!has_deadline_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double remaining =
+      std::chrono::duration<double>(when_ - Clock::now()).count();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+}  // namespace satfr

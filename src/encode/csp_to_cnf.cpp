@@ -1,0 +1,68 @@
+#include "encode/csp_to_cnf.h"
+
+#include <cassert>
+
+namespace satfr::encode {
+
+EncodedColoring EncodeColoring(
+    const graph::Graph& g, int num_colors, const EncodingSpec& spec,
+    const std::vector<graph::VertexId>& symmetry_sequence) {
+  assert(num_colors >= 1);
+  EncodedColoring out;
+  out.num_colors = num_colors;
+  out.domain = EncodeDomain(spec, num_colors);
+
+  const graph::VertexId n = g.num_vertices();
+  out.vertex_offset.resize(static_cast<std::size_t>(n));
+  for (graph::VertexId v = 0; v < n; ++v) {
+    out.vertex_offset[static_cast<std::size_t>(v)] =
+        static_cast<int>(v) * out.domain.num_vars;
+  }
+  out.cnf.EnsureVars(static_cast<int>(n) * out.domain.num_vars);
+
+  // Per-vertex structural clauses.
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const int offset = out.vertex_offset[static_cast<std::size_t>(v)];
+    for (const sat::Clause& clause : out.domain.structural) {
+      out.cnf.AddClause(ShiftClause(clause, offset));
+      ++out.stats.structural_clauses;
+    }
+  }
+
+  // Conflict clauses: one per edge per shared domain value (§2).
+  for (const auto& [u, v] : g.Edges()) {
+    const int offset_u = out.vertex_offset[static_cast<std::size_t>(u)];
+    const int offset_v = out.vertex_offset[static_cast<std::size_t>(v)];
+    for (int d = 0; d < num_colors; ++d) {
+      const Cube& cube = out.domain.value_cubes[static_cast<std::size_t>(d)];
+      out.cnf.AddClause(ConflictClause(cube, offset_u, cube, offset_v));
+      ++out.stats.conflict_clauses;
+    }
+  }
+
+  // Symmetry restrictions: the i-th sequence vertex (1-based) may only use
+  // colors < i, enforced by forbidding every higher color's cube.
+  assert(static_cast<int>(symmetry_sequence.size()) <= num_colors - 1 ||
+         symmetry_sequence.empty());
+  for (std::size_t j = 0; j < symmetry_sequence.size(); ++j) {
+    const graph::VertexId v = symmetry_sequence[j];
+    const int offset = out.vertex_offset[static_cast<std::size_t>(v)];
+    for (int d = static_cast<int>(j) + 1; d < num_colors; ++d) {
+      out.cnf.AddClause(NegateCube(
+          out.domain.value_cubes[static_cast<std::size_t>(d)], offset));
+      ++out.stats.symmetry_clauses;
+    }
+  }
+  return out;
+}
+
+std::vector<int> DecodeColoring(const EncodedColoring& encoded,
+                                const std::vector<bool>& model) {
+  std::vector<int> colors(encoded.vertex_offset.size(), -1);
+  for (std::size_t v = 0; v < encoded.vertex_offset.size(); ++v) {
+    colors[v] = DecodeValue(encoded.domain, encoded.vertex_offset[v], model);
+  }
+  return colors;
+}
+
+}  // namespace satfr::encode

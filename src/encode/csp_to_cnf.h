@@ -1,0 +1,49 @@
+// Graph-coloring -> CNF compilation (the paper's second translation tool).
+//
+// Given a conflict graph, a color count K, an encoding, and an optional
+// symmetry-breaking vertex sequence, produces one monolithic CNF that is
+// satisfiable iff the graph is K-colorable under the added symmetry
+// restrictions (which preserve K-colorability; see symmetry/symmetry.h).
+// Every vertex gets its own block of indexing Booleans; all vertices share
+// one DomainEncoding template since all domains have size K.
+#pragma once
+
+#include <vector>
+
+#include "encode/hierarchical.h"
+#include "graph/graph.h"
+#include "sat/cnf.h"
+
+namespace satfr::encode {
+
+struct ColoringCnfStats {
+  std::size_t structural_clauses = 0;
+  std::size_t conflict_clauses = 0;
+  std::size_t symmetry_clauses = 0;
+};
+
+struct EncodedColoring {
+  sat::Cnf cnf;
+  int num_colors = 0;
+  /// Shared per-vertex encoding template.
+  DomainEncoding domain;
+  /// First CNF variable of each vertex's indexing block.
+  std::vector<int> vertex_offset;
+  ColoringCnfStats stats;
+};
+
+/// Compiles the K-coloring of `g` to CNF with `spec`.
+///
+/// `symmetry_sequence` (possibly empty) lists vertices v_1..v_m (m <= K-1);
+/// the i-th (1-based) is restricted to colors < i by negated-cube clauses.
+EncodedColoring EncodeColoring(
+    const graph::Graph& g, int num_colors, const EncodingSpec& spec,
+    const std::vector<graph::VertexId>& symmetry_sequence = {});
+
+/// Extracts the color of every vertex from a SAT model of `encoded.cnf`.
+/// Entries are in [0, K); -1 signals a malformed model (never for models
+/// produced by a sound solver on a sound encoding).
+std::vector<int> DecodeColoring(const EncodedColoring& encoded,
+                                const std::vector<bool>& model);
+
+}  // namespace satfr::encode

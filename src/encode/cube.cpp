@@ -1,0 +1,49 @@
+#include "encode/cube.h"
+
+namespace satfr::encode {
+
+sat::Clause NegateCube(const Cube& cube, int var_offset) {
+  sat::Clause clause;
+  clause.reserve(cube.size());
+  for (const sat::Lit l : cube) {
+    clause.push_back(~sat::Lit::Make(l.var() + var_offset, l.negated()));
+  }
+  return clause;
+}
+
+sat::Clause ConflictClause(const Cube& a, int offset_a, const Cube& b,
+                           int offset_b) {
+  sat::Clause clause = NegateCube(a, offset_a);
+  const sat::Clause tail = NegateCube(b, offset_b);
+  clause.insert(clause.end(), tail.begin(), tail.end());
+  return clause;
+}
+
+bool CubeSatisfied(const Cube& cube, int var_offset,
+                   const std::vector<bool>& model) {
+  for (const sat::Lit l : cube) {
+    const std::size_t v = static_cast<std::size_t>(l.var() + var_offset);
+    if (model[v] == l.negated()) return false;
+  }
+  return true;
+}
+
+Cube ConcatCubes(const Cube& a, const Cube& b, int b_offset) {
+  Cube out = a;
+  out.reserve(a.size() + b.size());
+  for (const sat::Lit l : b) {
+    out.push_back(sat::Lit::Make(l.var() + b_offset, l.negated()));
+  }
+  return out;
+}
+
+sat::Clause ShiftClause(const sat::Clause& clause, int var_offset) {
+  sat::Clause out;
+  out.reserve(clause.size());
+  for (const sat::Lit l : clause) {
+    out.push_back(sat::Lit::Make(l.var() + var_offset, l.negated()));
+  }
+  return out;
+}
+
+}  // namespace satfr::encode

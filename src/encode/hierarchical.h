@@ -1,0 +1,61 @@
+// Hierarchical composition of encodings (§4) and the complete per-domain
+// encoding object consumed by the coloring->CNF compiler.
+//
+// An EncodingSpec names a stack of levels. A single level encodes the
+// domain directly. With two or more levels, the top level (whose size is
+// fixed by its indexing-variable budget, e.g. "direct-3" or "ITE-log-2")
+// partitions the domain into equal contiguous subdomains of size
+// ceil(k / top_count); the remaining levels select within a subdomain using
+// one shared set of variables across all subdomains. A smaller trailing
+// subdomain either gets a smaller ITE tree (ITE bottoms) or restriction
+// clauses that forbid the non-existent values (log/direct/muldirect
+// bottoms), exactly as §4 prescribes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encode/level_encoder.h"
+
+namespace satfr::encode {
+
+struct LevelSpec {
+  LevelKind kind;
+  /// Indexing Booleans allotted to this level. Must be > 0 for every level
+  /// except the last; the last level is sized to fit its subdomain and must
+  /// use -1.
+  int var_budget = -1;
+};
+
+struct EncodingSpec {
+  /// Paper-style name, e.g. "ITE-linear-2+muldirect".
+  std::string name;
+  /// Top-to-bottom level stack; at least one entry.
+  std::vector<LevelSpec> levels;
+};
+
+/// A fully instantiated encoding of one CSP variable's domain.
+struct DomainEncoding {
+  int domain_size = 0;
+  /// Indexing Booleans per CSP variable.
+  int num_vars = 0;
+  /// Selection cube per domain value, over local variables 0..num_vars-1.
+  std::vector<Cube> value_cubes;
+  /// Per-variable structural clauses (ALO/AMO/illegal/restriction).
+  std::vector<sat::Clause> structural;
+  /// True if every total assignment selects exactly one domain value.
+  bool exactly_one = false;
+};
+
+/// Instantiates `spec` for a domain of `domain_size` values.
+DomainEncoding EncodeDomain(const EncodingSpec& spec, int domain_size);
+
+/// Value selected by `model` for a CSP variable whose indexing Booleans
+/// start at `var_offset`. With a non-exactly-one encoding several values may
+/// be selected; the smallest is returned (any is valid, §2). Returns -1 if
+/// no value is selected (cannot happen for a model of a correctly encoded
+/// formula).
+int DecodeValue(const DomainEncoding& domain, int var_offset,
+                const std::vector<bool>& model);
+
+}  // namespace satfr::encode

@@ -1,0 +1,77 @@
+// The per-level encoding interface.
+//
+// §4 of the paper composes encodings hierarchically: a level selects one of
+// `count` children (domain values for a single-level encoding; subdomains
+// for the top level of a hierarchy). Every simple encoding — log, direct,
+// muldirect, ITE-linear, ITE-log — implements this interface, so the same
+// five classes serve both as complete encodings and as building blocks of
+// the hierarchical ones.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encode/cube.h"
+#include "sat/types.h"
+
+namespace satfr::encode {
+
+/// The CNF material a level contributes, over local variables 0..num_vars-1.
+struct LevelEncoding {
+  int num_vars = 0;
+  /// One selection cube per child, in child order.
+  std::vector<Cube> cubes;
+  /// At-least-one / at-most-one / excluded-illegal-value clauses.
+  std::vector<sat::Clause> structural;
+  /// True when the structure guarantees that every total assignment to the
+  /// level's variables selects exactly one child (ITE trees, log with
+  /// exclusions, direct). False for muldirect (several children may be
+  /// selected simultaneously).
+  bool exactly_one = false;
+};
+
+enum class LevelKind {
+  kLog,
+  kDirect,
+  kMuldirect,
+  kIteLinear,
+  kIteLog,
+};
+
+const char* ToString(LevelKind kind);
+
+class LevelEncoder {
+ public:
+  virtual ~LevelEncoder() = default;
+
+  virtual LevelKind kind() const = 0;
+
+  /// Paper-style name fragment ("direct", "ITE-linear", ...).
+  virtual std::string Name() const = 0;
+
+  /// Number of children addressable with `var_budget` indexing Booleans
+  /// (direct/muldirect: var_budget; ITE-linear: var_budget+1;
+  /// ITE-log / log: 2^var_budget). Used to size hierarchy top levels such
+  /// as "direct-3" or "ITE-log-2".
+  virtual int CountForVarBudget(int var_budget) const = 0;
+
+  /// Encodes the selection of one among `count` children. count >= 1.
+  virtual LevelEncoding Encode(int count) const = 0;
+
+  /// Selection cubes for a *reduced* child count (`reduced` < `count`) over
+  /// the same variable numbering as Encode(count) — used for the smaller
+  /// last subdomain of a hierarchy (§4). The default implementation reuses
+  /// the first `reduced` cubes of Encode(count) and reports that the caller
+  /// must add restriction clauses forbidding the remaining cubes; ITE
+  /// encoders instead build a smaller tree, which needs no restrictions.
+  virtual std::vector<Cube> ReducedCubes(int count, int reduced) const;
+
+  /// Whether ReducedCubes requires the caller to forbid the unused cubes.
+  virtual bool ReducedNeedsRestriction() const { return true; }
+};
+
+/// Factory for the five simple level encoders.
+std::unique_ptr<LevelEncoder> MakeLevelEncoder(LevelKind kind);
+
+}  // namespace satfr::encode

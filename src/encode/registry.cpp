@@ -1,0 +1,158 @@
+#include "encode/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace satfr::encode {
+namespace {
+
+EncodingSpec Single(std::string name, LevelKind kind) {
+  EncodingSpec spec;
+  spec.name = std::move(name);
+  spec.levels = {LevelSpec{kind, -1}};
+  return spec;
+}
+
+EncodingSpec TwoLevel(std::string name, LevelKind top, int top_budget,
+                      LevelKind bottom) {
+  EncodingSpec spec;
+  spec.name = std::move(name);
+  spec.levels = {LevelSpec{top, top_budget}, LevelSpec{bottom, -1}};
+  return spec;
+}
+
+std::vector<EncodingSpec> BuildRegistry() {
+  std::vector<EncodingSpec> all;
+  // The two encodings previously used for FPGA detailed routing (§2)...
+  all.push_back(Single("log", LevelKind::kLog));
+  all.push_back(Single("muldirect", LevelKind::kMuldirect));
+  // ...the direct encoding muldirect derives from (Table 1)...
+  all.push_back(Single("direct", LevelKind::kDirect));
+  // ...and the 12 new encodings (§6).
+  all.push_back(Single("ITE-linear", LevelKind::kIteLinear));
+  all.push_back(Single("ITE-log", LevelKind::kIteLog));
+  all.push_back(TwoLevel("ITE-log-1+ITE-linear", LevelKind::kIteLog, 1,
+                         LevelKind::kIteLinear));
+  all.push_back(TwoLevel("ITE-log-2+ITE-linear", LevelKind::kIteLog, 2,
+                         LevelKind::kIteLinear));
+  all.push_back(
+      TwoLevel("ITE-log-2+direct", LevelKind::kIteLog, 2, LevelKind::kDirect));
+  all.push_back(TwoLevel("ITE-log-2+muldirect", LevelKind::kIteLog, 2,
+                         LevelKind::kMuldirect));
+  all.push_back(TwoLevel("ITE-linear-2+direct", LevelKind::kIteLinear, 2,
+                         LevelKind::kDirect));
+  all.push_back(TwoLevel("ITE-linear-2+muldirect", LevelKind::kIteLinear, 2,
+                         LevelKind::kMuldirect));
+  all.push_back(
+      TwoLevel("direct-3+direct", LevelKind::kDirect, 3, LevelKind::kDirect));
+  all.push_back(TwoLevel("direct-3+muldirect", LevelKind::kDirect, 3,
+                         LevelKind::kMuldirect));
+  all.push_back(TwoLevel("muldirect-3+direct", LevelKind::kMuldirect, 3,
+                         LevelKind::kDirect));
+  all.push_back(TwoLevel("muldirect-3+muldirect", LevelKind::kMuldirect, 3,
+                         LevelKind::kMuldirect));
+  // Extensions beyond the paper's evaluated set (§4 allows any depth and
+  // any per-level encoding; Kwon & Klieber's scheme is multi-level direct).
+  all.push_back(TwoLevel("ITE-log-3+muldirect", LevelKind::kIteLog, 3,
+                         LevelKind::kMuldirect));
+  all.push_back(TwoLevel("ITE-linear-3+muldirect", LevelKind::kIteLinear, 3,
+                         LevelKind::kMuldirect));
+  all.push_back(
+      TwoLevel("direct-4+direct", LevelKind::kDirect, 4, LevelKind::kDirect));
+  {
+    EncodingSpec spec;
+    spec.name = "direct-2+direct-2+direct";
+    spec.levels = {LevelSpec{LevelKind::kDirect, 2},
+                   LevelSpec{LevelKind::kDirect, 2},
+                   LevelSpec{LevelKind::kDirect, -1}};
+    all.push_back(std::move(spec));
+  }
+  {
+    EncodingSpec spec;
+    spec.name = "ITE-log-1+ITE-log-1+ITE-linear";
+    spec.levels = {LevelSpec{LevelKind::kIteLog, 1},
+                   LevelSpec{LevelKind::kIteLog, 1},
+                   LevelSpec{LevelKind::kIteLinear, -1}};
+    all.push_back(std::move(spec));
+  }
+  return all;
+}
+
+}  // namespace
+
+const std::vector<EncodingSpec>& AllEncodings() {
+  static const std::vector<EncodingSpec>* const kAll =
+      new std::vector<EncodingSpec>(BuildRegistry());
+  return *kAll;
+}
+
+std::optional<EncodingSpec> FindEncoding(std::string_view name) {
+  for (const EncodingSpec& spec : AllEncodings()) {
+    if (spec.name == name) return spec;
+  }
+  return std::nullopt;
+}
+
+const EncodingSpec& GetEncoding(std::string_view name) {
+  for (const EncodingSpec& spec : AllEncodings()) {
+    if (spec.name == name) return spec;
+  }
+  std::fprintf(stderr, "satfr: unknown encoding '%.*s'\n",
+               static_cast<int>(name.size()), name.data());
+  std::abort();
+}
+
+std::vector<std::string> AllEncodingNames() {
+  std::vector<std::string> names;
+  for (const EncodingSpec& spec : AllEncodings()) names.push_back(spec.name);
+  return names;
+}
+
+std::vector<std::string> NewEncodingNames() {
+  return {
+      "ITE-linear",
+      "ITE-log",
+      "ITE-log-1+ITE-linear",
+      "ITE-log-2+ITE-linear",
+      "ITE-log-2+direct",
+      "ITE-log-2+muldirect",
+      "ITE-linear-2+direct",
+      "ITE-linear-2+muldirect",
+      "direct-3+direct",
+      "direct-3+muldirect",
+      "muldirect-3+direct",
+      "muldirect-3+muldirect",
+  };
+}
+
+std::vector<std::string> EvaluatedEncodingNames() {
+  std::vector<std::string> names = {"log", "muldirect"};
+  for (std::string& name : NewEncodingNames()) {
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+std::vector<std::string> ExtensionEncodingNames() {
+  return {
+      "ITE-log-3+muldirect",
+      "ITE-linear-3+muldirect",
+      "direct-4+direct",
+      "direct-2+direct-2+direct",
+      "ITE-log-1+ITE-log-1+ITE-linear",
+  };
+}
+
+std::vector<std::string> Table2EncodingNames() {
+  return {
+      "muldirect",
+      "ITE-linear",
+      "ITE-log",
+      "ITE-linear-2+direct",
+      "ITE-linear-2+muldirect",
+      "muldirect-3+muldirect",
+      "direct-3+muldirect",
+  };
+}
+
+}  // namespace satfr::encode

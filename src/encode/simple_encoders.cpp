@@ -1,0 +1,126 @@
+#include "encode/simple_encoders.h"
+
+#include <cassert>
+
+#include "encode/ite_tree.h"
+
+namespace satfr::encode {
+
+const char* ToString(LevelKind kind) {
+  switch (kind) {
+    case LevelKind::kLog:
+      return "log";
+    case LevelKind::kDirect:
+      return "direct";
+    case LevelKind::kMuldirect:
+      return "muldirect";
+    case LevelKind::kIteLinear:
+      return "ITE-linear";
+    case LevelKind::kIteLog:
+      return "ITE-log";
+  }
+  return "?";
+}
+
+std::vector<Cube> LevelEncoder::ReducedCubes(int count, int reduced) const {
+  assert(reduced >= 1 && reduced <= count);
+  LevelEncoding full = Encode(count);
+  full.cubes.resize(static_cast<std::size_t>(reduced));
+  return full.cubes;
+}
+
+namespace {
+
+int BitsFor(int count) {
+  int bits = 0;
+  while ((1 << bits) < count) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+LevelEncoding LogEncoder::Encode(int count) const {
+  assert(count >= 1);
+  LevelEncoding enc;
+  const int bits = BitsFor(count);
+  enc.num_vars = bits;
+  enc.exactly_one = true;
+  enc.cubes.reserve(static_cast<std::size_t>(count));
+  for (int value = 0; value < count; ++value) {
+    Cube cube;
+    cube.reserve(static_cast<std::size_t>(bits));
+    for (int b = 0; b < bits; ++b) {
+      const bool bit_set = ((value >> b) & 1) != 0;
+      cube.push_back(sat::Lit::Make(b, /*negated=*/!bit_set));
+    }
+    enc.cubes.push_back(std::move(cube));
+  }
+  // Exclude the unused patterns in [count, 2^bits).
+  for (int illegal = count; illegal < (1 << bits); ++illegal) {
+    sat::Clause clause;
+    clause.reserve(static_cast<std::size_t>(bits));
+    for (int b = 0; b < bits; ++b) {
+      const bool bit_set = ((illegal >> b) & 1) != 0;
+      clause.push_back(sat::Lit::Make(b, /*negated=*/bit_set));
+    }
+    enc.structural.push_back(std::move(clause));
+  }
+  return enc;
+}
+
+LevelEncoding DirectEncoder::Encode(int count) const {
+  assert(count >= 1);
+  LevelEncoding enc;
+  enc.num_vars = count;
+  enc.exactly_one = true;
+  for (int value = 0; value < count; ++value) {
+    enc.cubes.push_back(Cube{sat::Lit::Pos(value)});
+  }
+  // At-least-one.
+  sat::Clause alo;
+  for (int value = 0; value < count; ++value) {
+    alo.push_back(sat::Lit::Pos(value));
+  }
+  enc.structural.push_back(std::move(alo));
+  // Pairwise at-most-one.
+  for (int i = 0; i < count; ++i) {
+    for (int j = i + 1; j < count; ++j) {
+      enc.structural.push_back({sat::Lit::Neg(i), sat::Lit::Neg(j)});
+    }
+  }
+  return enc;
+}
+
+LevelEncoding MuldirectEncoder::Encode(int count) const {
+  assert(count >= 1);
+  LevelEncoding enc;
+  enc.num_vars = count;
+  enc.exactly_one = false;
+  for (int value = 0; value < count; ++value) {
+    enc.cubes.push_back(Cube{sat::Lit::Pos(value)});
+  }
+  sat::Clause alo;
+  for (int value = 0; value < count; ++value) {
+    alo.push_back(sat::Lit::Pos(value));
+  }
+  enc.structural.push_back(std::move(alo));
+  return enc;
+}
+
+std::unique_ptr<LevelEncoder> MakeLevelEncoder(LevelKind kind) {
+  switch (kind) {
+    case LevelKind::kLog:
+      return std::make_unique<LogEncoder>();
+    case LevelKind::kDirect:
+      return std::make_unique<DirectEncoder>();
+    case LevelKind::kMuldirect:
+      return std::make_unique<MuldirectEncoder>();
+    case LevelKind::kIteLinear:
+      return std::make_unique<IteLinearEncoder>();
+    case LevelKind::kIteLog:
+      return std::make_unique<IteLogEncoder>();
+  }
+  return nullptr;
+}
+
+}  // namespace satfr::encode

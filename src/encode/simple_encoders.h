@@ -1,0 +1,46 @@
+// The three "flat" encodings of §2: log, direct, and muldirect.
+//
+// Table 1 of the paper specifies their clause sets exactly for a 2-vertex,
+// 3-value example; tests/encode_simple_test.cpp pins our output to that
+// table literal-for-literal.
+#pragma once
+
+#include "encode/level_encoder.h"
+
+namespace satfr::encode {
+
+/// Iwama & Miyazaki's log encoding: ceil(log2 count) Booleans per variable,
+/// value = full binary pattern (LSB first), plus excluded-illegal-value
+/// clauses for the unused patterns.
+class LogEncoder final : public LevelEncoder {
+ public:
+  LevelKind kind() const override { return LevelKind::kLog; }
+  std::string Name() const override { return "log"; }
+  int CountForVarBudget(int var_budget) const override {
+    return 1 << var_budget;
+  }
+  LevelEncoding Encode(int count) const override;
+};
+
+/// de Kleer's direct encoding: one Boolean per value, at-least-one plus
+/// pairwise at-most-one clauses.
+class DirectEncoder final : public LevelEncoder {
+ public:
+  LevelKind kind() const override { return LevelKind::kDirect; }
+  std::string Name() const override { return "direct"; }
+  int CountForVarBudget(int var_budget) const override { return var_budget; }
+  LevelEncoding Encode(int count) const override;
+};
+
+/// Selman et al.'s multivalued direct encoding: direct without the
+/// at-most-one clauses; several values may be selected and any one of them
+/// is a valid extraction.
+class MuldirectEncoder final : public LevelEncoder {
+ public:
+  LevelKind kind() const override { return LevelKind::kMuldirect; }
+  std::string Name() const override { return "muldirect"; }
+  int CountForVarBudget(int var_budget) const override { return var_budget; }
+  LevelEncoding Encode(int count) const override;
+};
+
+}  // namespace satfr::encode

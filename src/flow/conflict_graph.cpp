@@ -1,0 +1,33 @@
+#include "flow/conflict_graph.h"
+
+namespace satfr::flow {
+
+graph::Graph BuildConflictGraph(const fpga::Arch& arch,
+                                const route::GlobalRouting& routing) {
+  graph::Graph g(static_cast<graph::VertexId>(routing.NumTwoPinNets()));
+  // Per-segment occupant lists.
+  std::vector<std::vector<graph::VertexId>> occupants(
+      static_cast<std::size_t>(arch.num_segments()));
+  for (std::size_t i = 0; i < routing.routes.size(); ++i) {
+    for (const fpga::SegmentIndex seg : routing.routes[i]) {
+      occupants[static_cast<std::size_t>(seg)].push_back(
+          static_cast<graph::VertexId>(i));
+    }
+  }
+  for (const auto& list : occupants) {
+    for (std::size_t a = 0; a < list.size(); ++a) {
+      for (std::size_t b = a + 1; b < list.size(); ++b) {
+        const auto& net_a =
+            routing.two_pin_nets[static_cast<std::size_t>(list[a])];
+        const auto& net_b =
+            routing.two_pin_nets[static_cast<std::size_t>(list[b])];
+        if (net_a.parent != net_b.parent) {
+          g.AddEdge(list[a], list[b]);  // dedups repeated sharing
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace satfr::flow

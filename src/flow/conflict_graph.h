@@ -1,0 +1,22 @@
+// Global routing -> conflict (CSP) graph extraction (§2 of the paper).
+//
+// One vertex per 2-pin net; an edge between two vertices whose routes share
+// at least one channel segment and whose 2-pin nets belong to *different*
+// multi-pin nets. Because subset switch blocks preserve the track index
+// along a route, a single disequality edge per conflicting pair captures
+// every shared connection block ("we only need to impose exclusivity
+// constraints once for each pair").
+#pragma once
+
+#include "fpga/arch.h"
+#include "graph/graph.h"
+#include "route/global_routing.h"
+
+namespace satfr::flow {
+
+/// Builds the conflict graph of `routing`. Vertex i corresponds to
+/// routing.two_pin_nets[i].
+graph::Graph BuildConflictGraph(const fpga::Arch& arch,
+                                const route::GlobalRouting& routing);
+
+}  // namespace satfr::flow

@@ -1,0 +1,88 @@
+#include "flow/detailed_router.h"
+
+#include <cassert>
+
+#include "flow/conflict_graph.h"
+#include "flow/track_checker.h"
+#include "sat/rup_checker.h"
+
+namespace satfr::flow {
+namespace {
+
+DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
+                                 int num_tracks,
+                                 const DetailedRouteOptions& options,
+                                 double coloring_seconds) {
+  DetailedRouteResult result;
+  result.coloring_seconds = coloring_seconds;
+  result.conflict_vertices = conflict_graph.num_vertices();
+  result.conflict_edges = conflict_graph.num_edges();
+
+  Stopwatch encode_watch;
+  const std::vector<graph::VertexId> sequence = symmetry::SymmetrySequence(
+      conflict_graph, num_tracks, options.heuristic);
+  const encode::EncodedColoring encoded = encode::EncodeColoring(
+      conflict_graph, num_tracks, options.encoding, sequence);
+  result.cnf_vars = encoded.cnf.num_vars();
+  result.cnf_clauses = encoded.cnf.num_clauses();
+
+  sat::Solver solver(options.solver);
+  std::vector<sat::Clause> proof;
+  if (options.verify_unsat_proof) solver.SetProofLog(&proof);
+  const bool consistent = solver.AddCnf(encoded.cnf);
+  result.encode_seconds = encode_watch.Seconds();
+
+  Stopwatch solve_watch;
+  if (!consistent) {
+    result.status = sat::SolveResult::kUnsat;
+  } else {
+    const Deadline deadline = options.timeout_seconds > 0.0
+                                  ? Deadline::After(options.timeout_seconds)
+                                  : Deadline::Infinite();
+    result.status = solver.Solve(deadline, options.stop);
+  }
+  result.solve_seconds = solve_watch.Seconds();
+  result.solver_stats = solver.stats();
+
+  if (result.status == sat::SolveResult::kSat) {
+    result.tracks = encode::DecodeColoring(encoded, solver.model());
+    assert(conflict_graph.IsProperColoring(result.tracks) &&
+           "decoded model must be a proper coloring");
+  } else if (result.status == sat::SolveResult::kUnsat &&
+             options.verify_unsat_proof) {
+    result.proof_clauses = proof.size();
+    result.proof_verified = sat::VerifyRupRefutation(encoded.cnf, proof);
+  }
+  return result;
+}
+
+}  // namespace
+
+DetailedRouteResult RouteDetailed(const fpga::Arch& arch,
+                                  const route::GlobalRouting& routing,
+                                  int num_tracks,
+                                  const DetailedRouteOptions& options) {
+  Stopwatch coloring_watch;
+  const graph::Graph conflict_graph = BuildConflictGraph(arch, routing);
+  const double coloring_seconds = coloring_watch.Seconds();
+  DetailedRouteResult result =
+      SolveOnGraph(conflict_graph, num_tracks, options, coloring_seconds);
+#ifndef NDEBUG
+  if (result.status == sat::SolveResult::kSat) {
+    std::string error;
+    assert(ValidateTrackAssignment(arch, routing, result.tracks, num_tracks,
+                                   &error) &&
+           "SAT model must decode to a valid detailed routing");
+  }
+#endif
+  return result;
+}
+
+DetailedRouteResult RouteDetailedOnGraph(
+    const graph::Graph& conflict_graph, int num_tracks,
+    const DetailedRouteOptions& options) {
+  return SolveOnGraph(conflict_graph, num_tracks, options,
+                      /*coloring_seconds=*/0.0);
+}
+
+}  // namespace satfr::flow

@@ -1,0 +1,79 @@
+// The SAT-based detailed router: the paper's end-to-end per-instance flow.
+//
+// Given a fixed global routing and a channel width W, runs the two-stage
+// translation (conflict graph -> CNF via a chosen encoding, with optional
+// symmetry breaking) and the SAT solver. Reports the same time breakdown the
+// paper's Table 2 sums: graph-coloring generation + CNF translation + SAT
+// solving.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "encode/csp_to_cnf.h"
+#include "encode/registry.h"
+#include "fpga/arch.h"
+#include "graph/graph.h"
+#include "route/global_routing.h"
+#include "sat/solver.h"
+#include "symmetry/symmetry.h"
+
+namespace satfr::flow {
+
+struct DetailedRouteOptions {
+  encode::EncodingSpec encoding = encode::GetEncoding("muldirect");
+  symmetry::Heuristic heuristic = symmetry::Heuristic::kNone;
+  sat::SolverOptions solver = sat::SolverOptions::SiegeLike();
+  /// Wall-clock budget for the SAT call; <= 0 means unlimited.
+  double timeout_seconds = 0.0;
+  /// Optional cooperative stop flag (portfolio cancellation).
+  const std::atomic<bool>* stop = nullptr;
+  /// Record a DRUP-style proof and re-verify kUnsat answers with the
+  /// independent RUP checker (see DetailedRouteResult::proof_verified).
+  /// Costs memory proportional to the clauses learned.
+  bool verify_unsat_proof = false;
+};
+
+struct DetailedRouteResult {
+  sat::SolveResult status = sat::SolveResult::kUnknown;
+  /// Track per 2-pin net; filled only when status == kSat.
+  std::vector<int> tracks;
+
+  // Time breakdown, in seconds (paper Table 2 reports their sum).
+  double coloring_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double TotalSeconds() const {
+    return coloring_seconds + encode_seconds + solve_seconds;
+  }
+
+  // Instance sizes.
+  int conflict_vertices = 0;
+  std::size_t conflict_edges = 0;
+  int cnf_vars = 0;
+  std::size_t cnf_clauses = 0;
+  sat::SolverStats solver_stats;
+
+  /// Set only when options.verify_unsat_proof and status == kUnsat:
+  /// true iff the solver's refutation passed the independent RUP checker.
+  bool proof_verified = false;
+  /// Length of the logged refutation (0 unless proof verification ran).
+  std::size_t proof_clauses = 0;
+};
+
+/// Routes `routing` in `num_tracks` tracks. kSat => `tracks` is a valid
+/// detailed routing (checked against the track checker in debug builds);
+/// kUnsat => provably unroutable at this width; kUnknown => timeout/stop.
+DetailedRouteResult RouteDetailed(const fpga::Arch& arch,
+                                  const route::GlobalRouting& routing,
+                                  int num_tracks,
+                                  const DetailedRouteOptions& options = {});
+
+/// Same, but on a prebuilt conflict graph (skips extraction; used when many
+/// strategies run on one instance).
+DetailedRouteResult RouteDetailedOnGraph(
+    const graph::Graph& conflict_graph, int num_tracks,
+    const DetailedRouteOptions& options = {});
+
+}  // namespace satfr::flow

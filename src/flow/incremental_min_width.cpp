@@ -1,0 +1,89 @@
+#include "flow/incremental_min_width.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/stopwatch.h"
+#include "encode/csp_to_cnf.h"
+#include "graph/coloring_bounds.h"
+
+namespace satfr::flow {
+
+IncrementalMinWidthResult FindMinimumWidthIncremental(
+    const graph::Graph& conflict_graph, int lower_bound,
+    const IncrementalMinWidthOptions& options) {
+  Stopwatch stopwatch;
+  IncrementalMinWidthResult result;
+
+  // K_max: a width DSATUR certifies as routable; the search cannot pass it.
+  const int k_max = std::max(
+      1, graph::NumColorsUsed(graph::DsaturColoring(conflict_graph)));
+  const int start = std::max(1, std::min(lower_bound, k_max));
+
+  const auto sequence = symmetry::SymmetrySequence(conflict_graph, k_max,
+                                                   options.heuristic);
+  encode::EncodedColoring encoded =
+      EncodeColoring(conflict_graph, k_max, options.encoding, sequence);
+
+  // Guard ladder: g_W (for W in [start, k_max)) forbids color W everywhere
+  // and implies g_{W+1}.
+  std::vector<sat::Var> guard(static_cast<std::size_t>(k_max), -1);
+  for (int w = start; w < k_max; ++w) {
+    guard[static_cast<std::size_t>(w)] = encoded.cnf.NewVar();
+  }
+  for (int w = start; w < k_max; ++w) {
+    const sat::Var g = guard[static_cast<std::size_t>(w)];
+    if (w + 1 < k_max) {
+      encoded.cnf.AddBinary(sat::Lit::Neg(g),
+                            sat::Lit::Pos(guard[static_cast<std::size_t>(
+                                w + 1)]));
+    }
+    for (std::size_t v = 0; v < encoded.vertex_offset.size(); ++v) {
+      sat::Clause clause = encode::NegateCube(
+          encoded.domain.value_cubes[static_cast<std::size_t>(w)],
+          encoded.vertex_offset[v]);
+      clause.push_back(sat::Lit::Neg(g));
+      encoded.cnf.AddClause(std::move(clause));
+    }
+  }
+
+  sat::Solver solver(options.solver);
+  if (!solver.AddCnf(encoded.cnf)) {
+    // Encoding contradictory without any guard: no width up to k_max works,
+    // which cannot happen (k_max is DSATUR-certified). Defensive bail-out.
+    result.total_seconds = stopwatch.Seconds();
+    return result;
+  }
+
+  const Deadline deadline = options.timeout_seconds > 0.0
+                                ? Deadline::After(options.timeout_seconds)
+                                : Deadline::Infinite();
+  for (int w = start; w <= k_max; ++w) {
+    ++result.widths_tested;
+    std::vector<sat::Lit> assumptions;
+    if (w < k_max) {
+      assumptions.push_back(
+          sat::Lit::Pos(guard[static_cast<std::size_t>(w)]));
+    }
+    const sat::SolveResult status =
+        solver.SolveWithAssumptions(assumptions, deadline);
+    if (status == sat::SolveResult::kUnknown) break;  // timeout
+    if (status == sat::SolveResult::kSat) {
+      result.min_width = w;
+      result.proven_optimal = true;  // every smaller width was refuted
+      result.tracks = encode::DecodeColoring(encoded, solver.model());
+      assert(conflict_graph.IsProperColoring(result.tracks));
+      for (const int track : result.tracks) {
+        assert(track < w);
+        (void)track;
+      }
+      break;
+    }
+    assert(solver.okay() && "guarded UNSAT must not refute the formula");
+  }
+  result.solver_stats = solver.stats();
+  result.total_seconds = stopwatch.Seconds();
+  return result;
+}
+
+}  // namespace satfr::flow

@@ -1,0 +1,22 @@
+// Validity checker for decoded detailed routings.
+//
+// A detailed routing is a track index per 2-pin net. It is valid for width W
+// iff every track is in [0, W) and no channel segment carries two 2-pin
+// nets of different multi-pin nets on the same track. This is the ground
+// truth the SAT pipeline is checked against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/arch.h"
+#include "route/global_routing.h"
+
+namespace satfr::flow {
+
+bool ValidateTrackAssignment(const fpga::Arch& arch,
+                             const route::GlobalRouting& routing,
+                             const std::vector<int>& tracks, int num_tracks,
+                             std::string* error = nullptr);
+
+}  // namespace satfr::flow

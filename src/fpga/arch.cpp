@@ -1,0 +1,77 @@
+#include "fpga/arch.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace satfr::fpga {
+
+Arch::Arch(int grid_size) : grid_size_(grid_size) {
+  assert(grid_size >= 1);
+}
+
+NodeId Arch::NodeAt(int x, int y) const {
+  assert(IsValidNodeCoord(x, y));
+  return static_cast<NodeId>(y * nodes_per_side() + x);
+}
+
+Coord Arch::NodeCoord(NodeId node) const {
+  assert(node >= 0 && node < num_nodes());
+  return Coord{static_cast<int>(node) % nodes_per_side(),
+               static_cast<int>(node) / nodes_per_side()};
+}
+
+bool Arch::IsValidNodeCoord(int x, int y) const {
+  return x >= 0 && x < nodes_per_side() && y >= 0 && y < nodes_per_side();
+}
+
+SegmentIndex Arch::HorizontalSegment(int x, int y) const {
+  assert(x >= 0 && x < grid_size_ && y >= 0 && y < nodes_per_side());
+  return static_cast<SegmentIndex>(y * grid_size_ + x);
+}
+
+SegmentIndex Arch::VerticalSegment(int x, int y) const {
+  assert(x >= 0 && x < nodes_per_side() && y >= 0 && y < grid_size_);
+  return static_cast<SegmentIndex>(num_horizontal_segments() +
+                                   x * grid_size_ + y);
+}
+
+SegmentIndex Arch::SegmentBetween(NodeId a, NodeId b) const {
+  const Coord ca = NodeCoord(a);
+  const Coord cb = NodeCoord(b);
+  const int dx = cb.x - ca.x;
+  const int dy = cb.y - ca.y;
+  if (dy == 0 && (dx == 1 || dx == -1)) {
+    return HorizontalSegment(dx == 1 ? ca.x : cb.x, ca.y);
+  }
+  if (dx == 0 && (dy == 1 || dy == -1)) {
+    return VerticalSegment(ca.x, dy == 1 ? ca.y : cb.y);
+  }
+  return kInvalidSegment;
+}
+
+void Arch::SegmentEndpoints(SegmentIndex segment, NodeId* a, NodeId* b) const {
+  assert(segment >= 0 && segment < num_segments());
+  if (IsHorizontal(segment)) {
+    const int y = static_cast<int>(segment) / grid_size_;
+    const int x = static_cast<int>(segment) % grid_size_;
+    *a = NodeAt(x, y);
+    *b = NodeAt(x + 1, y);
+  } else {
+    const int local = static_cast<int>(segment) - num_horizontal_segments();
+    const int x = local / grid_size_;
+    const int y = local % grid_size_;
+    *a = NodeAt(x, y);
+    *b = NodeAt(x, y + 1);
+  }
+}
+
+std::string Arch::SegmentName(SegmentIndex segment) const {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  SegmentEndpoints(segment, &a, &b);
+  const Coord c = NodeCoord(a);
+  return std::string(IsHorizontal(segment) ? "H(" : "V(") +
+         std::to_string(c.x) + "," + std::to_string(c.y) + ")";
+}
+
+}  // namespace satfr::fpga

@@ -1,0 +1,92 @@
+// Island-style FPGA architecture model (§2 of the paper).
+//
+// An N x N array of logic blocks (CLBs) is surrounded by routing channels.
+// We model the routing fabric at the granularity the detailed-routing
+// reduction needs: switch blocks sit at the (N+1) x (N+1) channel crossing
+// points, and a *channel segment* is the stretch of channel between two
+// adjacent switch blocks. Every channel segment carries W parallel tracks
+// (W is a flow parameter, not an architecture constant). Switch blocks are
+// subset (planar) switches: a connection entering on track t leaves on
+// track t, so a 2-pin net occupies the same track index along its entire
+// route — which is what makes detailed routing a graph-coloring problem.
+//
+// A CLB at (x, y) attaches to the routing fabric through the connection
+// block at its lower-left switch point, i.e. switch node (x, y). This keeps
+// coordinates of blocks and fabric aligned and preserves the property the
+// reduction relies on: two nets conflict iff their routes share a channel
+// segment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace satfr::fpga {
+
+/// Dense id of a switch node (channel crossing point).
+using NodeId = std::int32_t;
+
+/// Dense id of a channel segment.
+using SegmentIndex = std::int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr SegmentIndex kInvalidSegment = -1;
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Coord& a, const Coord& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Geometry and id arithmetic of an N x N island-style array.
+class Arch {
+ public:
+  explicit Arch(int grid_size);
+
+  int grid_size() const { return grid_size_; }
+
+  /// Switch nodes form an (N+1) x (N+1) lattice.
+  int nodes_per_side() const { return grid_size_ + 1; }
+  int num_nodes() const { return nodes_per_side() * nodes_per_side(); }
+
+  /// Channel segments: horizontal (x,y)-(x+1,y) and vertical (x,y)-(x,y+1).
+  int num_horizontal_segments() const {
+    return grid_size_ * nodes_per_side();
+  }
+  int num_vertical_segments() const { return grid_size_ * nodes_per_side(); }
+  int num_segments() const {
+    return num_horizontal_segments() + num_vertical_segments();
+  }
+
+  NodeId NodeAt(int x, int y) const;
+  Coord NodeCoord(NodeId node) const;
+  bool IsValidNodeCoord(int x, int y) const;
+
+  /// Segment between two *adjacent* switch nodes; kInvalidSegment otherwise.
+  SegmentIndex SegmentBetween(NodeId a, NodeId b) const;
+
+  /// Segment id helpers (x, y are the lower/left endpoint's coordinates).
+  SegmentIndex HorizontalSegment(int x, int y) const;  // (x,y)-(x+1,y)
+  SegmentIndex VerticalSegment(int x, int y) const;    // (x,y)-(x,y+1)
+
+  /// Endpoint switch nodes of a segment.
+  void SegmentEndpoints(SegmentIndex segment, NodeId* a, NodeId* b) const;
+
+  bool IsHorizontal(SegmentIndex segment) const {
+    return segment < num_horizontal_segments();
+  }
+
+  /// Human-readable segment description, e.g. "H(3,2)" or "V(0,5)".
+  std::string SegmentName(SegmentIndex segment) const;
+
+  /// Switch node a CLB at block coordinates (bx, by) attaches to.
+  /// Valid block coordinates are 0..grid_size-1.
+  NodeId BlockAccessNode(int bx, int by) const { return NodeAt(bx, by); }
+
+ private:
+  int grid_size_;
+};
+
+}  // namespace satfr::fpga

@@ -1,0 +1,32 @@
+#include "fpga/device_graph.h"
+
+#include <cstdlib>
+
+namespace satfr::fpga {
+
+DeviceGraph::DeviceGraph(const Arch& arch) : arch_(arch) {
+  hops_.resize(static_cast<std::size_t>(arch_.num_nodes()));
+  const int side = arch_.nodes_per_side();
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      const NodeId node = arch_.NodeAt(x, y);
+      auto& list = hops_[static_cast<std::size_t>(node)];
+      const int deltas[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+      for (const auto& d : deltas) {
+        const int nx = x + d[0];
+        const int ny = y + d[1];
+        if (!arch_.IsValidNodeCoord(nx, ny)) continue;
+        const NodeId to = arch_.NodeAt(nx, ny);
+        list.push_back(Hop{to, arch_.SegmentBetween(node, to)});
+      }
+    }
+  }
+}
+
+int DeviceGraph::ManhattanDistance(NodeId a, NodeId b) const {
+  const Coord ca = arch_.NodeCoord(a);
+  const Coord cb = arch_.NodeCoord(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+}  // namespace satfr::fpga

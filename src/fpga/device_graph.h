@@ -1,0 +1,37 @@
+// Adjacency view of the routing fabric: which segments leave each switch
+// node. Built once per architecture and shared by the maze router and the
+// routing checkers.
+#pragma once
+
+#include <vector>
+
+#include "fpga/arch.h"
+
+namespace satfr::fpga {
+
+class DeviceGraph {
+ public:
+  struct Hop {
+    NodeId to = kInvalidNode;
+    SegmentIndex via = kInvalidSegment;
+  };
+
+  explicit DeviceGraph(const Arch& arch);
+
+  const Arch& arch() const { return arch_; }
+
+  /// Up to four hops (N/E/S/W) out of `node`.
+  const std::vector<Hop>& Hops(NodeId node) const {
+    return hops_[static_cast<std::size_t>(node)];
+  }
+
+  /// Manhattan distance between two switch nodes (admissible A* heuristic,
+  /// exact lower bound on path length in segments).
+  int ManhattanDistance(NodeId a, NodeId b) const;
+
+ private:
+  Arch arch_;
+  std::vector<std::vector<Hop>> hops_;
+};
+
+}  // namespace satfr::fpga

@@ -1,0 +1,47 @@
+#include "fpga/render.h"
+
+#include <cassert>
+
+namespace satfr::fpga {
+namespace {
+
+char ValueGlyph(int value) {
+  if (value <= 0) return '.';
+  if (value < 10) return static_cast<char>('0' + value);
+  return '*';
+}
+
+}  // namespace
+
+std::string RenderSegmentValues(const Arch& arch,
+                                const std::vector<int>& per_segment) {
+  assert(per_segment.size() >=
+         static_cast<std::size_t>(arch.num_segments()));
+  std::string out;
+  const int n = arch.grid_size();
+  // Rows are printed top (y = n) to bottom (y = 0) so the origin sits at
+  // the lower left, as in the architecture diagrams.
+  for (int y = n; y >= 0; --y) {
+    // Switch-node row with horizontal segments.
+    out.push_back('+');
+    for (int x = 0; x < n; ++x) {
+      out.push_back('-');
+      out.push_back(ValueGlyph(
+          per_segment[static_cast<std::size_t>(arch.HorizontalSegment(x, y))]));
+      out.push_back('-');
+      out.push_back('+');
+    }
+    out.push_back('\n');
+    if (y == 0) break;
+    // Block row with vertical segments (these span y-1 .. y).
+    for (int x = 0; x <= n; ++x) {
+      out.push_back(ValueGlyph(per_segment[static_cast<std::size_t>(
+          arch.VerticalSegment(x, y - 1))]));
+      if (x < n) out.append("[ ]");
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace satfr::fpga

@@ -1,0 +1,27 @@
+// ASCII rendering of the FPGA fabric: congestion heat maps and per-segment
+// track occupancy. Used by examples and for debugging global routings.
+//
+// Layout (for a 2x2 array): switch nodes are '+', logic blocks are the
+// bracketed cells, channel segments print a digit (their value under the
+// chosen view, '.' for zero, '*' for >= 10):
+//
+//     +-2-+-.-+
+//     1[ ].[ ]3
+//     +-.-+-4-+
+//     .[ ]2[ ].
+//     +-1-+-.-+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/arch.h"
+
+namespace satfr::fpga {
+
+/// Renders one integer per segment (e.g. congestion). `per_segment` is
+/// indexed by SegmentIndex and must cover arch.num_segments().
+std::string RenderSegmentValues(const Arch& arch,
+                                const std::vector<int>& per_segment);
+
+}  // namespace satfr::fpga

@@ -1,0 +1,146 @@
+#include "graph/coloring_bounds.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace satfr::graph {
+
+std::vector<int> DsaturColoring(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<int> colors(static_cast<std::size_t>(n), -1);
+  if (n == 0) return colors;
+  std::vector<std::vector<bool>> neighbor_has_color(
+      static_cast<std::size_t>(n));
+  std::vector<int> saturation(static_cast<std::size_t>(n), 0);
+
+  for (VertexId step = 0; step < n; ++step) {
+    // Pick the uncolored vertex with max saturation, ties by degree.
+    VertexId best = -1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (colors[static_cast<std::size_t>(v)] != -1) continue;
+      if (best == -1 ||
+          saturation[static_cast<std::size_t>(v)] >
+              saturation[static_cast<std::size_t>(best)] ||
+          (saturation[static_cast<std::size_t>(v)] ==
+               saturation[static_cast<std::size_t>(best)] &&
+           g.Degree(v) > g.Degree(best))) {
+        best = v;
+      }
+    }
+    // Smallest color unused among neighbors.
+    std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+    for (const VertexId u : g.Neighbors(best)) {
+      const int c = colors[static_cast<std::size_t>(u)];
+      if (c >= 0) used[static_cast<std::size_t>(c)] = true;
+    }
+    int color = 0;
+    while (used[static_cast<std::size_t>(color)]) ++color;
+    colors[static_cast<std::size_t>(best)] = color;
+    // Update saturations.
+    for (const VertexId u : g.Neighbors(best)) {
+      auto& seen = neighbor_has_color[static_cast<std::size_t>(u)];
+      if (seen.size() <= static_cast<std::size_t>(color)) {
+        seen.resize(static_cast<std::size_t>(color) + 1, false);
+      }
+      if (!seen[static_cast<std::size_t>(color)]) {
+        seen[static_cast<std::size_t>(color)] = true;
+        ++saturation[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+  return colors;
+}
+
+int NumColorsUsed(const std::vector<int>& colors) {
+  int max_color = -1;
+  for (const int c : colors) max_color = std::max(max_color, c);
+  return max_color + 1;
+}
+
+int GreedyCliqueLowerBound(const Graph& g) {
+  int best = g.num_vertices() > 0 ? 1 : 0;
+  // Try growing a clique from each of the top-degree vertices.
+  std::vector<VertexId> order(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  std::sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  const std::size_t seeds = std::min<std::size_t>(order.size(), 16);
+  for (std::size_t s = 0; s < seeds; ++s) {
+    std::vector<VertexId> clique{order[s]};
+    // Candidates sorted by degree; greedily keep those adjacent to all.
+    for (const VertexId v : order) {
+      if (v == order[s]) continue;
+      bool adjacent_to_all = true;
+      for (const VertexId c : clique) {
+        if (!g.HasEdge(v, c)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (adjacent_to_all) clique.push_back(v);
+    }
+    best = std::max(best, static_cast<int>(clique.size()));
+  }
+  return best;
+}
+
+namespace {
+
+bool ColorRecurse(const Graph& g, const std::vector<VertexId>& order,
+                  std::size_t index, int k, std::vector<int>& colors) {
+  if (index == order.size()) return true;
+  const VertexId v = order[index];
+  // Only try colors up to (max used so far + 1) to break color symmetry.
+  int max_used = -1;
+  for (std::size_t i = 0; i < index; ++i) {
+    max_used = std::max(max_used, colors[static_cast<std::size_t>(order[i])]);
+  }
+  const int limit = std::min(k - 1, max_used + 1);
+  for (int c = 0; c <= limit; ++c) {
+    bool ok = true;
+    for (const VertexId u : g.Neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == c) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    colors[static_cast<std::size_t>(v)] = c;
+    if (ColorRecurse(g, order, index + 1, k, colors)) return true;
+    colors[static_cast<std::size_t>(v)] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsKColorableExact(const Graph& g, int k) {
+  if (k < 0) return false;
+  if (g.num_vertices() == 0) return true;
+  if (k == 0) return false;
+  std::vector<VertexId> order(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  // Highest degree first narrows the search tree.
+  std::sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  std::vector<int> colors(static_cast<std::size_t>(g.num_vertices()), -1);
+  return ColorRecurse(g, order, 0, k, colors);
+}
+
+int ChromaticNumberExact(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const std::vector<int> greedy = DsaturColoring(g);
+  const int upper = NumColorsUsed(greedy);
+  for (int k = 1; k < upper; ++k) {
+    if (IsKColorableExact(g, k)) return k;
+  }
+  return upper;
+}
+
+}  // namespace satfr::graph

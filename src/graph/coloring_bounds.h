@@ -1,0 +1,34 @@
+// Cheap chromatic-number bounds and a reference coloring checker.
+//
+// Used by the flow layer to pick sensible W ranges before invoking SAT
+// (DSATUR gives a routable upper bound; a greedy clique gives a lower bound
+// below which unroutability is trivial), and by tests as ground truth on
+// small graphs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace satfr::graph {
+
+/// DSATUR greedy coloring. Returns the colors (0-based) per vertex; the
+/// number of colors used is max+1. Never fails; quality is heuristic.
+std::vector<int> DsaturColoring(const Graph& g);
+
+/// Number of colors used by a coloring vector (max entry + 1), 0 if empty.
+int NumColorsUsed(const std::vector<int>& colors);
+
+/// Greedy clique construction seeded at each max-degree vertex; the clique
+/// size is a lower bound on the chromatic number.
+int GreedyCliqueLowerBound(const Graph& g);
+
+/// Exact chromatic-number check by backtracking: is `g` k-colorable?
+/// Exponential; intended for test-sized graphs (tens of vertices).
+bool IsKColorableExact(const Graph& g, int k);
+
+/// Exact chromatic number by incrementing k; test-sized graphs only.
+int ChromaticNumberExact(const Graph& g);
+
+}  // namespace satfr::graph

@@ -1,0 +1,36 @@
+// DIMACS graph ("*.col") serialization.
+//
+// The paper's first tool emits the coloring problem in the DIMACS graph
+// format so that any coloring-to-SAT translator can consume it (§1,
+// contribution 1). Format: optional "c" comment lines, one "p edge V E"
+// header, then "e u v" lines with 1-based vertex ids.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace satfr::graph {
+
+/// Writes `g` in DIMACS .col format (vertices are printed 1-based).
+void WriteDimacsCol(const Graph& g, std::ostream& out,
+                    const std::vector<std::string>& comments = {});
+
+/// Convenience file writer; returns false if the file cannot be opened.
+bool WriteDimacsColFile(const Graph& g, const std::string& path,
+                        const std::vector<std::string>& comments = {});
+
+/// Parses a DIMACS .col stream. Duplicate edges are merged. Returns
+/// std::nullopt on malformed input.
+std::optional<Graph> ParseDimacsCol(std::istream& in);
+
+/// Parses from a string.
+std::optional<Graph> ParseDimacsColString(const std::string& text);
+
+/// Parses from a file; std::nullopt if unreadable or malformed.
+std::optional<Graph> ParseDimacsColFile(const std::string& path);
+
+}  // namespace satfr::graph

@@ -1,0 +1,170 @@
+#include "netlist/mcnc_suite.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace satfr::netlist {
+namespace {
+
+std::vector<McncParams> BuildSuite() {
+  // Scale knobs are tuned so that the minimum routable channel width W* of
+  // each circuit's fixed global routing lands in the 4-10 range typical of
+  // the MCNC suite, and the proven-unroutable W*-1 instances grow harder in
+  // roughly the paper's row order.
+  std::vector<McncParams> suite;
+  auto add = [&suite](const char* name, int grid, int nets, int max_fanout,
+                      double locality) {
+    McncParams p;
+    p.name = name;
+    p.grid_size = grid;
+    p.num_nets = nets;
+    p.max_fanout = max_fanout;
+    p.locality = locality;
+    suite.push_back(p);
+  };
+  // Table 2 circuits, easiest to hardest.
+  add("alu2", 10, 78, 5, 0.75);
+  add("too_large", 12, 106, 5, 0.75);
+  add("alu4", 14, 134, 6, 0.72);
+  add("C880", 14, 158, 6, 0.70);
+  add("apex7", 15, 182, 6, 0.70);
+  add("C1355", 16, 185, 6, 0.68);
+  add("vda", 16, 200, 7, 0.66);
+  add("k2", 17, 230, 7, 0.65);
+  // Small extras for tests, examples and quick experiments.
+  add("tiny", 4, 8, 3, 0.8);
+  add("9symml", 7, 25, 4, 0.78);
+  add("term1", 8, 32, 4, 0.78);
+  add("example2", 9, 40, 5, 0.76);
+  return suite;
+}
+
+const std::vector<McncParams>& Suite() {
+  static const std::vector<McncParams>* const kSuite =
+      new std::vector<McncParams>(BuildSuite());
+  return *kSuite;
+}
+
+}  // namespace
+
+const std::vector<std::string>& Table2BenchmarkNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"alu2", "too_large", "alu4", "C880",
+                                   "apex7", "C1355",    "vda",  "k2"};
+  return *kNames;
+}
+
+const std::vector<std::string>& AllBenchmarkNames() {
+  static const std::vector<std::string>* const kNames = [] {
+    auto* names = new std::vector<std::string>();
+    for (const McncParams& p : Suite()) names->push_back(p.name);
+    return names;
+  }();
+  return *kNames;
+}
+
+McncParams GetMcncParams(const std::string& name) {
+  for (const McncParams& p : Suite()) {
+    if (p.name == name) return p;
+  }
+  std::fprintf(stderr, "satfr: unknown benchmark '%s'\n", name.c_str());
+  std::abort();
+}
+
+McncBenchmark GenerateMcncBenchmark(const McncParams& params) {
+  assert(params.grid_size >= 2);
+  assert(params.num_nets >= 1);
+  Rng rng(StableHash64(params.name) ^ 0x5AFF5AFF12345678ULL);
+
+  McncBenchmark bench;
+  bench.params = params;
+
+  // 1. Blocks on distinct sites: a random subset of the CLB array.
+  const int n = params.grid_size;
+  const int num_sites = n * n;
+  int num_blocks = std::max(
+      2, static_cast<int>(std::lround(num_sites * params.block_density)));
+  num_blocks = std::min(num_blocks, num_sites);
+  const auto site_order = rng.Permutation(static_cast<std::uint32_t>(num_sites));
+  bench.placement = Placement(n, num_blocks);
+  for (int b = 0; b < num_blocks; ++b) {
+    const int site = static_cast<int>(site_order[static_cast<std::size_t>(b)]);
+    const BlockId id =
+        bench.netlist.AddBlock("blk_" + std::to_string(b));
+    const bool placed = bench.placement.Place(id, site % n, site / n);
+    assert(placed);
+    (void)placed;
+  }
+
+  // 2. Nets: random source; sinks mostly from the source's neighborhood.
+  auto blocks_near = [&](fpga::Coord center) {
+    std::vector<BlockId> near;
+    for (int dy = -params.locality_radius; dy <= params.locality_radius;
+         ++dy) {
+      for (int dx = -params.locality_radius; dx <= params.locality_radius;
+           ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const auto owner =
+            bench.placement.BlockAt(center.x + dx, center.y + dy);
+        if (owner) near.push_back(*owner);
+      }
+    }
+    return near;
+  };
+
+  for (int net_index = 0; net_index < params.num_nets; ++net_index) {
+    Net net;
+    net.name = "net_" + std::to_string(net_index);
+    net.source = static_cast<BlockId>(
+        rng.NextBelow(static_cast<std::uint64_t>(num_blocks)));
+    // Fan-out: 1 + Geometric(p), capped.
+    int fanout = 1;
+    while (fanout < params.max_fanout &&
+           !rng.NextBool(params.fanout_geometric_p)) {
+      ++fanout;
+    }
+    const std::vector<BlockId> near =
+        blocks_near(bench.placement.LocationOf(net.source));
+    std::vector<bool> used(static_cast<std::size_t>(num_blocks), false);
+    used[static_cast<std::size_t>(net.source)] = true;
+    int attempts = 0;
+    while (static_cast<int>(net.sinks.size()) < fanout &&
+           attempts < 64 * fanout) {
+      ++attempts;
+      BlockId candidate = -1;
+      if (!near.empty() && rng.NextBool(params.locality)) {
+        candidate = near[rng.NextBelow(near.size())];
+      } else {
+        candidate = static_cast<BlockId>(
+            rng.NextBelow(static_cast<std::uint64_t>(num_blocks)));
+      }
+      if (used[static_cast<std::size_t>(candidate)]) continue;
+      used[static_cast<std::size_t>(candidate)] = true;
+      net.sinks.push_back(candidate);
+    }
+    if (net.sinks.empty()) {
+      // Degenerate corner (tiny dense grids): fall back to any other block.
+      const BlockId fallback =
+          (net.source + 1) % static_cast<BlockId>(num_blocks);
+      net.sinks.push_back(fallback);
+    }
+    bench.netlist.AddNet(std::move(net));
+  }
+
+  std::string error;
+  const bool valid = bench.netlist.Validate(&error);
+  assert(valid && "generated netlist must validate");
+  (void)valid;
+  return bench;
+}
+
+McncBenchmark GenerateMcncBenchmark(const std::string& name) {
+  return GenerateMcncBenchmark(GetMcncParams(name));
+}
+
+}  // namespace satfr::netlist

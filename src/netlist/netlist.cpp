@@ -1,0 +1,62 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+namespace satfr::netlist {
+
+BlockId Netlist::AddBlock(std::string name) {
+  blocks_.push_back(Block{std::move(name)});
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+NetId Netlist::AddNet(Net net) {
+  nets_.push_back(std::move(net));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+int Netlist::NumTwoPinConnections() const {
+  int total = 0;
+  for (const Net& net : nets_) {
+    total += static_cast<int>(net.sinks.size());
+  }
+  return total;
+}
+
+int Netlist::MaxFanout() const {
+  int max_fanout = 0;
+  for (const Net& net : nets_) {
+    max_fanout = std::max(max_fanout, static_cast<int>(net.sinks.size()));
+  }
+  return max_fanout;
+}
+
+bool Netlist::Validate(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  for (const Net& net : nets_) {
+    if (net.source < 0 || net.source >= num_blocks()) {
+      return fail("net '" + net.name + "' has an invalid source block");
+    }
+    if (net.sinks.empty()) {
+      return fail("net '" + net.name + "' has no sinks");
+    }
+    std::vector<BlockId> sinks = net.sinks;
+    std::sort(sinks.begin(), sinks.end());
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (sinks[i] < 0 || sinks[i] >= num_blocks()) {
+        return fail("net '" + net.name + "' has an invalid sink block");
+      }
+      if (sinks[i] == net.source) {
+        return fail("net '" + net.name + "' lists its source as a sink");
+      }
+      if (i > 0 && sinks[i] == sinks[i - 1]) {
+        return fail("net '" + net.name + "' has duplicate sinks");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace satfr::netlist

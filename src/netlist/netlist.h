@@ -1,0 +1,65 @@
+// Circuit netlist: blocks (CLB/pad instances) and multi-pin nets.
+//
+// This is the input of the routing flow: a set of placed blocks and nets,
+// each net connecting one source block to one or more sink blocks. The
+// structure intentionally mirrors the level of detail SEGA's benchmark files
+// carry for routing purposes: names, connectivity, fan-out — no logic
+// functions (routing does not need them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satfr::netlist {
+
+using BlockId = std::int32_t;
+using NetId = std::int32_t;
+
+struct Block {
+  std::string name;
+};
+
+struct Net {
+  std::string name;
+  BlockId source = -1;
+  std::vector<BlockId> sinks;
+
+  /// Pins = source + sinks.
+  int NumPins() const { return 1 + static_cast<int>(sinks.size()); }
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  BlockId AddBlock(std::string name);
+  NetId AddNet(Net net);
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+
+  const Block& block(BlockId id) const {
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+  const Net& net(NetId id) const {
+    return nets_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  /// Total 2-pin connections (sum of fan-outs).
+  int NumTwoPinConnections() const;
+
+  /// Largest net fan-out (0 if there are no nets).
+  int MaxFanout() const;
+
+  /// Structural sanity: every net has a valid source and >= 1 valid,
+  /// source-distinct sink, and no duplicate sinks.
+  bool Validate(std::string* error = nullptr) const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace satfr::netlist

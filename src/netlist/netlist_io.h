@@ -1,0 +1,48 @@
+// Text serialization of placed netlists.
+//
+// The paper's flow is file-driven (MCNC circuits + SEGA global routings);
+// this module gives the library an equivalent on-disk format so users can
+// route their own circuits. The format is line-oriented:
+//
+//     satfr_netlist 1
+//     grid <N>
+//     block <name> <x> <y>
+//     net <name> <source_block_name> <sink_block_name>...
+//
+// '#' starts a comment; blocks must be declared before nets reference
+// them; block sites must be distinct and on the grid.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "netlist/mcnc_suite.h"  // McncBenchmark as the in-memory bundle
+
+namespace satfr::netlist {
+
+/// A parsed placed netlist (grid + netlist + placement). params.name is the
+/// circuit name from the file; other params fields are defaulted.
+using PlacedNetlist = McncBenchmark;
+
+/// Writes the placed netlist. The netlist must validate and be fully
+/// placed.
+void WritePlacedNetlist(const Netlist& nets, const Placement& placement,
+                        const std::string& circuit_name, std::ostream& out);
+
+bool WritePlacedNetlistFile(const Netlist& nets, const Placement& placement,
+                            const std::string& circuit_name,
+                            const std::string& path);
+
+/// Parses a placed netlist; std::nullopt (with a diagnostic in `error`) on
+/// malformed input.
+std::optional<PlacedNetlist> ParsePlacedNetlist(std::istream& in,
+                                                std::string* error = nullptr);
+
+std::optional<PlacedNetlist> ParsePlacedNetlistString(
+    const std::string& text, std::string* error = nullptr);
+
+std::optional<PlacedNetlist> ParsePlacedNetlistFile(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace satfr::netlist

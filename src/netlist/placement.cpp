@@ -1,0 +1,63 @@
+#include "netlist/placement.h"
+
+#include <cassert>
+
+namespace satfr::netlist {
+
+Placement::Placement(int grid_size, int num_blocks)
+    : grid_size_(grid_size),
+      locations_(static_cast<std::size_t>(num_blocks)),
+      placed_(static_cast<std::size_t>(num_blocks), false),
+      site_owner_(static_cast<std::size_t>(grid_size) *
+                      static_cast<std::size_t>(grid_size),
+                  -1) {
+  assert(grid_size >= 1);
+}
+
+bool Placement::Place(BlockId block, int x, int y) {
+  assert(block >= 0 &&
+         static_cast<std::size_t>(block) < locations_.size());
+  if (x < 0 || y < 0 || x >= grid_size_ || y >= grid_size_) return false;
+  const std::size_t site = static_cast<std::size_t>(y) *
+                               static_cast<std::size_t>(grid_size_) +
+                           static_cast<std::size_t>(x);
+  if (site_owner_[site] != -1) return false;
+  assert(!placed_[static_cast<std::size_t>(block)] &&
+         "block placed twice");
+  site_owner_[site] = block;
+  locations_[static_cast<std::size_t>(block)] = fpga::Coord{x, y};
+  placed_[static_cast<std::size_t>(block)] = true;
+  return true;
+}
+
+fpga::Coord Placement::LocationOf(BlockId block) const {
+  assert(IsPlaced(block));
+  return locations_[static_cast<std::size_t>(block)];
+}
+
+bool Placement::IsPlaced(BlockId block) const {
+  return block >= 0 &&
+         static_cast<std::size_t>(block) < placed_.size() &&
+         placed_[static_cast<std::size_t>(block)];
+}
+
+std::optional<BlockId> Placement::BlockAt(int x, int y) const {
+  if (x < 0 || y < 0 || x >= grid_size_ || y >= grid_size_) {
+    return std::nullopt;
+  }
+  const BlockId owner =
+      site_owner_[static_cast<std::size_t>(y) *
+                      static_cast<std::size_t>(grid_size_) +
+                  static_cast<std::size_t>(x)];
+  if (owner == -1) return std::nullopt;
+  return owner;
+}
+
+bool Placement::CoversNetlist(const Netlist& netlist) const {
+  for (BlockId b = 0; b < netlist.num_blocks(); ++b) {
+    if (!IsPlaced(b)) return false;
+  }
+  return true;
+}
+
+}  // namespace satfr::netlist

@@ -1,0 +1,44 @@
+// Block placement: which CLB site each block occupies.
+//
+// The flow assumes placement is given (the paper routes pre-placed, pre-
+// globally-routed benchmarks); the synthetic suite produces one placement
+// per benchmark. At most one block per site.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fpga/arch.h"
+#include "netlist/netlist.h"
+
+namespace satfr::netlist {
+
+class Placement {
+ public:
+  Placement(int grid_size, int num_blocks);
+
+  int grid_size() const { return grid_size_; }
+
+  /// Places `block` at CLB site (x, y); returns false if the site is taken
+  /// or coordinates are out of range.
+  bool Place(BlockId block, int x, int y);
+
+  /// Location of a block; blocks must be placed before being queried.
+  fpga::Coord LocationOf(BlockId block) const;
+
+  bool IsPlaced(BlockId block) const;
+
+  /// Block at a site, if any.
+  std::optional<BlockId> BlockAt(int x, int y) const;
+
+  /// True if every block of `netlist` is placed.
+  bool CoversNetlist(const Netlist& netlist) const;
+
+ private:
+  int grid_size_;
+  std::vector<fpga::Coord> locations_;  // per block
+  std::vector<bool> placed_;            // per block
+  std::vector<BlockId> site_owner_;     // per site, -1 if free
+};
+
+}  // namespace satfr::netlist

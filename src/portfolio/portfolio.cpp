@@ -1,0 +1,116 @@
+#include "portfolio/portfolio.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "sat/walksat.h"
+
+namespace satfr::portfolio {
+
+std::string Strategy::DisplayName() const {
+  return encoding_name + "/" + symmetry::ToString(heuristic) +
+         (use_walksat ? " (walksat)" : "");
+}
+
+namespace {
+
+// Runs one WalkSAT strategy on the encoded instance (SAT-or-give-up).
+flow::DetailedRouteResult RunWalkSatStrategy(
+    const graph::Graph& conflict_graph, int num_tracks,
+    const Strategy& strategy, double timeout_seconds,
+    const std::atomic<bool>* stop) {
+  flow::DetailedRouteResult result;
+  Stopwatch watch;
+  const auto sequence = symmetry::SymmetrySequence(
+      conflict_graph, num_tracks, strategy.heuristic);
+  const encode::EncodedColoring encoded =
+      EncodeColoring(conflict_graph, num_tracks,
+                     encode::GetEncoding(strategy.encoding_name), sequence);
+  result.conflict_vertices = conflict_graph.num_vertices();
+  result.conflict_edges = conflict_graph.num_edges();
+  result.cnf_vars = encoded.cnf.num_vars();
+  result.cnf_clauses = encoded.cnf.num_clauses();
+  result.encode_seconds = watch.Seconds();
+
+  Stopwatch solve_watch;
+  sat::WalkSat walksat(encoded.cnf);
+  const Deadline deadline = timeout_seconds > 0.0
+                                ? Deadline::After(timeout_seconds)
+                                : Deadline::Infinite();
+  result.status = walksat.Solve(deadline, stop);
+  result.solve_seconds = solve_watch.Seconds();
+  if (result.status == sat::SolveResult::kSat) {
+    result.tracks = encode::DecodeColoring(encoded, walksat.model());
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Strategy> PaperPortfolio2() {
+  std::vector<Strategy> strategies(2);
+  strategies[0].encoding_name = "ITE-linear-2+muldirect";
+  strategies[0].heuristic = symmetry::Heuristic::kS1;
+  strategies[1].encoding_name = "muldirect-3+muldirect";
+  strategies[1].heuristic = symmetry::Heuristic::kS1;
+  return strategies;
+}
+
+std::vector<Strategy> PaperPortfolio3() {
+  std::vector<Strategy> strategies = PaperPortfolio2();
+  Strategy third;
+  third.encoding_name = "ITE-linear-2+direct";
+  third.heuristic = symmetry::Heuristic::kS1;
+  strategies.push_back(third);
+  return strategies;
+}
+
+PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
+                             int num_tracks,
+                             const std::vector<Strategy>& strategies,
+                             double timeout_seconds) {
+  PortfolioResult out;
+  out.statuses.assign(strategies.size(), sat::SolveResult::kUnknown);
+  if (strategies.empty()) return out;
+
+  Stopwatch stopwatch;
+  std::atomic<bool> stop{false};
+  std::mutex winner_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(strategies.size());
+
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    threads.emplace_back([&, s] {
+      flow::DetailedRouteResult result;
+      if (strategies[s].use_walksat) {
+        result = RunWalkSatStrategy(conflict_graph, num_tracks,
+                                    strategies[s], timeout_seconds, &stop);
+      } else {
+        flow::DetailedRouteOptions options;
+        options.encoding =
+            encode::GetEncoding(strategies[s].encoding_name);
+        options.heuristic = strategies[s].heuristic;
+        options.solver = strategies[s].solver;
+        options.timeout_seconds = timeout_seconds;
+        options.stop = &stop;
+        result = flow::RouteDetailedOnGraph(conflict_graph, num_tracks,
+                                            options);
+      }
+      std::lock_guard<std::mutex> lock(winner_mutex);
+      out.statuses[s] = result.status;
+      if (result.status != sat::SolveResult::kUnknown && out.winner == -1) {
+        out.winner = static_cast<int>(s);
+        out.result = std::move(result);
+        out.wall_seconds = stopwatch.Seconds();
+        stop.store(true);  // cancel the other strategies
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (out.winner == -1) out.wall_seconds = stopwatch.Seconds();
+  return out;
+}
+
+}  // namespace satfr::portfolio

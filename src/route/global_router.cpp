@@ -1,0 +1,157 @@
+#include "route/global_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "route/maze_router.h"
+
+namespace satfr::route {
+namespace {
+
+using fpga::NodeId;
+using fpga::SegmentIndex;
+using netlist::NetId;
+
+// Tracks, per segment, how many routes of each parent net cross it, so that
+// distinct-parent usage is maintainable under rip-up.
+class UsageTracker {
+ public:
+  explicit UsageTracker(int num_segments)
+      : per_segment_(static_cast<std::size_t>(num_segments)) {}
+
+  void Add(const std::vector<SegmentIndex>& route, NetId parent) {
+    for (const SegmentIndex seg : route) {
+      ++per_segment_[static_cast<std::size_t>(seg)][parent];
+    }
+  }
+
+  void Remove(const std::vector<SegmentIndex>& route, NetId parent) {
+    for (const SegmentIndex seg : route) {
+      auto& counts = per_segment_[static_cast<std::size_t>(seg)];
+      auto it = counts.find(parent);
+      assert(it != counts.end());
+      if (--it->second == 0) counts.erase(it);
+    }
+  }
+
+  /// Distinct parents using `seg`.
+  int Usage(SegmentIndex seg) const {
+    return static_cast<int>(per_segment_[static_cast<std::size_t>(seg)].size());
+  }
+
+  /// Distinct parents other than `parent` using `seg`.
+  int UsageExcluding(SegmentIndex seg, NetId parent) const {
+    const auto& counts = per_segment_[static_cast<std::size_t>(seg)];
+    return static_cast<int>(counts.size()) -
+           (counts.count(parent) > 0 ? 1 : 0);
+  }
+
+  int Peak() const {
+    int peak = 0;
+    for (const auto& counts : per_segment_) {
+      peak = std::max(peak, static_cast<int>(counts.size()));
+    }
+    return peak;
+  }
+
+  /// Total overuse above `capacity` across all segments.
+  int TotalOveruse(int capacity) const {
+    int total = 0;
+    for (const auto& counts : per_segment_) {
+      total += std::max(0, static_cast<int>(counts.size()) - capacity);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::unordered_map<NetId, int>> per_segment_;
+};
+
+}  // namespace
+
+GlobalRouting RouteGlobally(const fpga::DeviceGraph& device,
+                            const netlist::Netlist& nets,
+                            const netlist::Placement& placement,
+                            const GlobalRouterOptions& options) {
+  const fpga::Arch& arch = device.arch();
+  GlobalRouting routing;
+  routing.two_pin_nets = options.decomposition == Decomposition::kChain
+                             ? DecomposeToTwoPinChain(nets, placement)
+                             : DecomposeToTwoPin(nets);
+  const std::size_t num_routes = routing.two_pin_nets.size();
+  routing.routes.resize(num_routes);
+
+  // Endpoint switch nodes per 2-pin net.
+  std::vector<NodeId> from(num_routes);
+  std::vector<NodeId> to(num_routes);
+  for (std::size_t i = 0; i < num_routes; ++i) {
+    const TwoPinNet& net = routing.two_pin_nets[i];
+    const fpga::Coord s = placement.LocationOf(net.source);
+    const fpga::Coord t = placement.LocationOf(net.sink);
+    from[i] = arch.BlockAccessNode(s.x, s.y);
+    to[i] = arch.BlockAccessNode(t.x, t.y);
+  }
+
+  // Long nets first: they have the fewest detour options.
+  std::vector<std::size_t> order(num_routes);
+  for (std::size_t i = 0; i < num_routes; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int da = device.ManhattanDistance(from[a], to[a]);
+    const int db = device.ManhattanDistance(from[b], to[b]);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  // Initial shortest-path routing.
+  UsageTracker usage(arch.num_segments());
+  for (const std::size_t i : order) {
+    auto path = FindShortestPath(device, from[i], to[i]);
+    assert(path.has_value() && "grid is connected");
+    routing.routes[i] = std::move(*path);
+    usage.Add(routing.routes[i], routing.two_pin_nets[i].parent);
+  }
+
+  std::vector<double> history(static_cast<std::size_t>(arch.num_segments()),
+                              0.0);
+  GlobalRouting best = routing;
+
+  // Tighten the capacity target until negotiation fails.
+  for (int capacity = usage.Peak() - 1; capacity >= 1; --capacity) {
+    double present_factor = options.present_factor_initial;
+    bool feasible = false;
+    for (int round = 0; round < options.negotiation_rounds && !feasible;
+         ++round) {
+      for (const std::size_t i : order) {
+        const NetId parent = routing.two_pin_nets[i].parent;
+        usage.Remove(routing.routes[i], parent);
+        const auto cost = [&](SegmentIndex seg) {
+          const int others = usage.UsageExcluding(seg, parent);
+          const int overuse = std::max(0, others + 1 - capacity);
+          return 1.0 + present_factor * overuse +
+                 options.history_factor *
+                     history[static_cast<std::size_t>(seg)];
+        };
+        auto path = FindPath(device, from[i], to[i], cost);
+        assert(path.has_value());
+        routing.routes[i] = std::move(*path);
+        usage.Add(routing.routes[i], parent);
+      }
+      // Accumulate history on overused segments; raise the pressure.
+      for (SegmentIndex seg = 0; seg < arch.num_segments(); ++seg) {
+        const int overuse = std::max(0, usage.Usage(seg) - capacity);
+        history[static_cast<std::size_t>(seg)] += overuse;
+      }
+      present_factor *= options.present_factor_growth;
+      feasible = (usage.TotalOveruse(capacity) == 0);
+    }
+    if (feasible) {
+      best = routing;
+    } else {
+      break;  // this capacity is out of reach; keep the last feasible one
+    }
+  }
+  return best;
+}
+
+}  // namespace satfr::route

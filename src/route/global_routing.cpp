@@ -1,0 +1,78 @@
+#include "route/global_routing.h"
+
+#include <algorithm>
+#include <set>
+
+namespace satfr::route {
+
+std::size_t GlobalRouting::TotalWirelength() const {
+  std::size_t total = 0;
+  for (const auto& route : routes) total += route.size();
+  return total;
+}
+
+std::vector<int> SegmentParentUsage(const fpga::Arch& arch,
+                                    const GlobalRouting& routing) {
+  std::vector<std::set<netlist::NetId>> parents(
+      static_cast<std::size_t>(arch.num_segments()));
+  for (std::size_t i = 0; i < routing.routes.size(); ++i) {
+    const netlist::NetId parent = routing.two_pin_nets[i].parent;
+    for (const fpga::SegmentIndex seg : routing.routes[i]) {
+      parents[static_cast<std::size_t>(seg)].insert(parent);
+    }
+  }
+  std::vector<int> usage(parents.size(), 0);
+  for (std::size_t s = 0; s < parents.size(); ++s) {
+    usage[s] = static_cast<int>(parents[s].size());
+  }
+  return usage;
+}
+
+int PeakCongestion(const fpga::Arch& arch, const GlobalRouting& routing) {
+  const std::vector<int> usage = SegmentParentUsage(arch, routing);
+  return usage.empty() ? 0 : *std::max_element(usage.begin(), usage.end());
+}
+
+bool ValidateGlobalRouting(const fpga::Arch& arch,
+                           const netlist::Placement& placement,
+                           const GlobalRouting& routing,
+                           std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  if (routing.routes.size() != routing.two_pin_nets.size()) {
+    return fail("route/two-pin-net count mismatch");
+  }
+  for (std::size_t i = 0; i < routing.routes.size(); ++i) {
+    const TwoPinNet& net = routing.two_pin_nets[i];
+    const fpga::Coord src = placement.LocationOf(net.source);
+    const fpga::Coord dst = placement.LocationOf(net.sink);
+    fpga::NodeId at = arch.BlockAccessNode(src.x, src.y);
+    const fpga::NodeId goal = arch.BlockAccessNode(dst.x, dst.y);
+    for (const fpga::SegmentIndex seg : routing.routes[i]) {
+      if (seg < 0 || seg >= arch.num_segments()) {
+        return fail("route " + std::to_string(i) +
+                    " uses an invalid segment id");
+      }
+      fpga::NodeId a = fpga::kInvalidNode;
+      fpga::NodeId b = fpga::kInvalidNode;
+      arch.SegmentEndpoints(seg, &a, &b);
+      if (a == at) {
+        at = b;
+      } else if (b == at) {
+        at = a;
+      } else {
+        return fail("route " + std::to_string(i) + " is disconnected at " +
+                    arch.SegmentName(seg));
+      }
+    }
+    if (at != goal) {
+      return fail("route " + std::to_string(i) +
+                  " does not end at its sink");
+    }
+  }
+  return true;
+}
+
+}  // namespace satfr::route

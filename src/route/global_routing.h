@@ -1,0 +1,46 @@
+// Global-routing data model and validity/congestion queries.
+//
+// A GlobalRouting fixes, for every 2-pin net, the ordered list of channel
+// segments its route traverses. This plays the role of the global routings
+// that SEGA-1.1 ships with the MCNC benchmarks: the detailed-routing SAT
+// instance is entirely determined by it (plus the track count W).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/arch.h"
+#include "netlist/placement.h"
+#include "route/two_pin.h"
+
+namespace satfr::route {
+
+struct GlobalRouting {
+  std::vector<TwoPinNet> two_pin_nets;
+  /// routes[i] = ordered segments of two_pin_nets[i]'s path.
+  std::vector<std::vector<fpga::SegmentIndex>> routes;
+
+  std::size_t NumTwoPinNets() const { return two_pin_nets.size(); }
+
+  /// Total routed wirelength in segments.
+  std::size_t TotalWirelength() const;
+};
+
+/// Number of *distinct multi-pin nets* whose routes use each segment.
+/// (2-pin nets of one multi-pin net may share a segment on the same track,
+/// so capacity pressure counts parents, not routes.)
+std::vector<int> SegmentParentUsage(const fpga::Arch& arch,
+                                    const GlobalRouting& routing);
+
+/// Peak of SegmentParentUsage — a lower bound on the detailed-routable
+/// channel width W*.
+int PeakCongestion(const fpga::Arch& arch, const GlobalRouting& routing);
+
+/// Checks that every route is a connected switch-node path from its 2-pin
+/// net's source block access point to its sink block access point.
+bool ValidateGlobalRouting(const fpga::Arch& arch,
+                           const netlist::Placement& placement,
+                           const GlobalRouting& routing,
+                           std::string* error = nullptr);
+
+}  // namespace satfr::route

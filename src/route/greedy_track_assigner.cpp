@@ -1,0 +1,90 @@
+#include "route/greedy_track_assigner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace satfr::route {
+
+GreedyAssignResult GreedyAssignTracks(const graph::Graph& conflict_graph,
+                                      int num_tracks,
+                                      const GreedyAssignOptions& options) {
+  using graph::VertexId;
+  const VertexId n = conflict_graph.num_vertices();
+  GreedyAssignResult result;
+  result.tracks.assign(static_cast<std::size_t>(n), -1);
+
+  // Hardest-first: descending degree, ties by id.
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (conflict_graph.Degree(a) != conflict_graph.Degree(b)) {
+      return conflict_graph.Degree(a) > conflict_graph.Degree(b);
+    }
+    return a < b;
+  });
+
+  int ripup_budget = options.max_ripups;
+  std::vector<VertexId> queue(order);  // nets still to place, FIFO by order
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const VertexId v = queue[head++];
+    if (result.tracks[static_cast<std::size_t>(v)] != -1) continue;
+    // Tracks used by already-assigned neighbors, and per-track blocker.
+    std::vector<VertexId> blocker(static_cast<std::size_t>(num_tracks), -1);
+    std::vector<bool> used(static_cast<std::size_t>(num_tracks), false);
+    for (const VertexId u : conflict_graph.Neighbors(v)) {
+      const int t = result.tracks[static_cast<std::size_t>(u)];
+      if (t >= 0) {
+        used[static_cast<std::size_t>(t)] = true;
+        blocker[static_cast<std::size_t>(t)] = u;
+      }
+    }
+    int chosen = -1;
+    for (int t = 0; t < num_tracks; ++t) {
+      if (!used[static_cast<std::size_t>(t)]) {
+        chosen = t;
+        break;
+      }
+    }
+    if (chosen == -1 && ripup_budget > 0) {
+      // Evict the lowest-degree blocker and take its track.
+      VertexId victim = -1;
+      for (int t = 0; t < num_tracks; ++t) {
+        const VertexId b = blocker[static_cast<std::size_t>(t)];
+        if (b < 0) continue;
+        if (victim < 0 ||
+            conflict_graph.Degree(b) < conflict_graph.Degree(victim)) {
+          victim = b;
+          chosen = t;
+        }
+      }
+      if (victim >= 0) {
+        result.tracks[static_cast<std::size_t>(victim)] = -1;
+        queue.push_back(victim);
+        --ripup_budget;
+        ++result.ripups;
+      }
+    }
+    if (chosen == -1) continue;  // stays unassigned
+    result.tracks[static_cast<std::size_t>(v)] = chosen;
+  }
+
+  for (const int t : result.tracks) {
+    if (t < 0) ++result.unassigned;
+  }
+  result.success = (result.unassigned == 0);
+  assert(!result.success || conflict_graph.IsProperColoring(result.tracks));
+  return result;
+}
+
+int GreedyMinimumWidth(const graph::Graph& conflict_graph, int lower_bound,
+                       const GreedyAssignOptions& options, int max_width) {
+  for (int width = std::max(1, lower_bound); width <= max_width; ++width) {
+    if (GreedyAssignTracks(conflict_graph, width, options).success) {
+      return width;
+    }
+  }
+  return -1;
+}
+
+}  // namespace satfr::route

@@ -1,0 +1,55 @@
+// One-net-at-a-time detailed routing baseline.
+//
+// The paper's introduction contrasts SAT-based detailed routing — which
+// "considers all nets simultaneously" and can prove unroutability — with
+// "the one-net-at-a-time approach used in most non-SAT-based FPGA detailed
+// routers" (SEGA, CGE, ...). This module implements that baseline for the
+// track-assignment problem: process 2-pin nets in a heuristic order and
+// give each the first track compatible with all previously assigned
+// conflicting nets, with optional limited backtracking (rip-up of a
+// bounded number of blockers).
+//
+// Being greedy it can (a) need more tracks than the SAT optimum W*, and
+// (b) never prove unroutability — it only reports "failed with W tracks".
+// bench/bench_greedy_vs_sat quantifies both gaps.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace satfr::route {
+
+struct GreedyAssignOptions {
+  /// Rip-up budget: how many times a blocked net may evict an already
+  /// assigned neighbor (0 = pure greedy).
+  int max_ripups = 0;
+};
+
+struct GreedyAssignResult {
+  /// True if every 2-pin net received a track within num_tracks.
+  bool success = false;
+  /// Track per vertex of the conflict graph; entries are -1 on failure for
+  /// the nets that could not be placed.
+  std::vector<int> tracks;
+  /// Number of nets left unassigned (0 on success).
+  int unassigned = 0;
+  /// Rip-ups performed.
+  int ripups = 0;
+};
+
+/// Greedily K-colors the conflict graph, processing vertices in descending
+/// degree order (hardest first). Deterministic.
+GreedyAssignResult GreedyAssignTracks(const graph::Graph& conflict_graph,
+                                      int num_tracks,
+                                      const GreedyAssignOptions& options = {});
+
+/// Smallest W for which the greedy assigner succeeds (scanning upward from
+/// `lower_bound`). Contrast with flow::FindMinimumWidth: the greedy width
+/// is an upper bound on W* with no optimality proof.
+int GreedyMinimumWidth(const graph::Graph& conflict_graph, int lower_bound,
+                       const GreedyAssignOptions& options = {},
+                       int max_width = 64);
+
+}  // namespace satfr::route

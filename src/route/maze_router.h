@@ -1,0 +1,30 @@
+// Point-to-point maze routing on the device graph.
+//
+// A* over switch nodes with per-segment costs supplied by the caller (the
+// negotiated-congestion global router varies these between iterations).
+// Costs must be >= 1 so the Manhattan-distance heuristic stays admissible
+// and the search returns a minimum-cost path.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fpga/device_graph.h"
+
+namespace satfr::route {
+
+using SegmentCostFn = std::function<double(fpga::SegmentIndex)>;
+
+/// Minimum-cost path from `from` to `to` as the ordered list of traversed
+/// segments; std::nullopt only if from/to are disconnected (never on our
+/// grid). `from == to` yields an empty path.
+std::optional<std::vector<fpga::SegmentIndex>> FindPath(
+    const fpga::DeviceGraph& device, fpga::NodeId from, fpga::NodeId to,
+    const SegmentCostFn& segment_cost);
+
+/// Shortest path with unit costs.
+std::optional<std::vector<fpga::SegmentIndex>> FindShortestPath(
+    const fpga::DeviceGraph& device, fpga::NodeId from, fpga::NodeId to);
+
+}  // namespace satfr::route

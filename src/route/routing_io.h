@@ -1,0 +1,48 @@
+// Text serialization of global routings.
+//
+// Plays the role of SEGA's shipped global-routing files: a fixed global
+// routing can be written once and re-loaded for detailed-routing
+// experiments. Format:
+//
+//     satfr_routing 1
+//     grid <N>
+//     route <parent_net_id> <source_block_id> <sink_block_id> : SEG...
+//
+// where each SEG is a segment name in the Arch convention, "H(x,y)" or
+// "V(x,y)". '#' starts a comment. Routes appear in 2-pin-net order.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "fpga/arch.h"
+#include "route/global_routing.h"
+
+namespace satfr::route {
+
+void WriteGlobalRouting(const fpga::Arch& arch, const GlobalRouting& routing,
+                        std::ostream& out);
+
+bool WriteGlobalRoutingFile(const fpga::Arch& arch,
+                            const GlobalRouting& routing,
+                            const std::string& path);
+
+/// Parses a routing and the grid size it was written for. Segment names
+/// must be on-grid; route connectivity is *not* validated here (use
+/// ValidateGlobalRouting with the matching placement).
+struct ParsedRouting {
+  int grid_size = 0;
+  GlobalRouting routing;
+};
+
+std::optional<ParsedRouting> ParseGlobalRouting(std::istream& in,
+                                                std::string* error = nullptr);
+
+std::optional<ParsedRouting> ParseGlobalRoutingString(
+    const std::string& text, std::string* error = nullptr);
+
+std::optional<ParsedRouting> ParseGlobalRoutingFile(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace satfr::route

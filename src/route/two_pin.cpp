@@ -1,0 +1,63 @@
+#include "route/two_pin.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace satfr::route {
+
+std::vector<TwoPinNet> DecomposeToTwoPin(const netlist::Netlist& nets) {
+  std::vector<TwoPinNet> out;
+  out.reserve(static_cast<std::size_t>(nets.NumTwoPinConnections()));
+  for (netlist::NetId id = 0; id < nets.num_nets(); ++id) {
+    const netlist::Net& net = nets.net(id);
+    for (const netlist::BlockId sink : net.sinks) {
+      out.push_back(TwoPinNet{id, net.source, sink});
+    }
+  }
+  return out;
+}
+
+std::vector<TwoPinNet> DecomposeToTwoPinChain(
+    const netlist::Netlist& nets, const netlist::Placement& placement) {
+  std::vector<TwoPinNet> out;
+  out.reserve(static_cast<std::size_t>(nets.NumTwoPinConnections()));
+  const auto distance = [&placement](netlist::BlockId a,
+                                     netlist::BlockId b) {
+    const fpga::Coord ca = placement.LocationOf(a);
+    const fpga::Coord cb = placement.LocationOf(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  };
+  for (netlist::NetId id = 0; id < nets.num_nets(); ++id) {
+    const netlist::Net& net = nets.net(id);
+    std::vector<netlist::BlockId> remaining = net.sinks;
+    netlist::BlockId at = net.source;
+    while (!remaining.empty()) {
+      // Nearest unvisited sink; ties broken by block id for determinism.
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < remaining.size(); ++i) {
+        const int di = distance(at, remaining[i]);
+        const int db = distance(at, remaining[best]);
+        if (di < db || (di == db && remaining[i] < remaining[best])) {
+          best = i;
+        }
+      }
+      const netlist::BlockId next = remaining[best];
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+      out.push_back(TwoPinNet{id, at, next});
+      at = next;
+    }
+  }
+  return out;
+}
+
+const char* ToString(Decomposition decomposition) {
+  switch (decomposition) {
+    case Decomposition::kStar:
+      return "star";
+    case Decomposition::kChain:
+      return "chain";
+  }
+  return "?";
+}
+
+}  // namespace satfr::route

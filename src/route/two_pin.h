@@ -1,0 +1,37 @@
+// Multi-pin net decomposition (§2 of the paper).
+//
+// "Each multi-pin net is decomposed into a collection of 2-pin nets": we use
+// the star decomposition — one 2-pin net from the source to every sink.
+// 2-pin nets remember their parent so that exclusivity constraints are only
+// imposed between 2-pin nets of *different* multi-pin nets.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "netlist/placement.h"
+
+namespace satfr::route {
+
+struct TwoPinNet {
+  netlist::NetId parent = -1;
+  netlist::BlockId source = -1;
+  netlist::BlockId sink = -1;
+};
+
+/// Star decomposition, in net order then sink order (deterministic): one
+/// 2-pin net from the multi-pin net's source to every sink.
+std::vector<TwoPinNet> DecomposeToTwoPin(const netlist::Netlist& nets);
+
+/// Chain decomposition: a nearest-neighbor walk over the sinks starting at
+/// the source, yielding 2-pin nets source->s1, s1->s2, ... . Produces the
+/// same number of 2-pin nets as the star but shorter ones on spread-out
+/// nets; needs the placement for the distance metric. Deterministic.
+std::vector<TwoPinNet> DecomposeToTwoPinChain(
+    const netlist::Netlist& nets, const netlist::Placement& placement);
+
+enum class Decomposition { kStar, kChain };
+
+const char* ToString(Decomposition decomposition);
+
+}  // namespace satfr::route

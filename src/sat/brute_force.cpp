@@ -1,0 +1,124 @@
+#include "sat/brute_force.h"
+
+#include <cassert>
+
+namespace satfr::sat {
+
+std::optional<std::vector<bool>> SolveByEnumeration(const Cnf& cnf) {
+  const int n = cnf.num_vars();
+  assert(n <= 24 && "enumeration limited to 24 variables");
+  const std::uint32_t limit = 1u << n;
+  std::vector<bool> assignment(static_cast<std::size_t>(n));
+  for (std::uint32_t bits = 0; bits < limit; ++bits) {
+    for (int v = 0; v < n; ++v) {
+      assignment[static_cast<std::size_t>(v)] = ((bits >> v) & 1u) != 0;
+    }
+    if (cnf.IsSatisfiedBy(assignment)) return assignment;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+enum class TriState : char { kUnset, kTrue, kFalse };
+
+class DpllSearch {
+ public:
+  explicit DpllSearch(const Cnf& cnf)
+      : cnf_(cnf),
+        values_(static_cast<std::size_t>(cnf.num_vars()), TriState::kUnset) {}
+
+  std::optional<std::vector<bool>> Run() {
+    if (!Recurse()) return std::nullopt;
+    std::vector<bool> model(values_.size());
+    for (std::size_t v = 0; v < values_.size(); ++v) {
+      // Unconstrained variables default to false.
+      model[v] = (values_[v] == TriState::kTrue);
+    }
+    return model;
+  }
+
+ private:
+  // Returns kTrue if the clause is satisfied, kFalse if falsified, kUnset
+  // otherwise; `unit` receives the sole unassigned literal if exactly one.
+  TriState ClauseStatus(const Clause& clause, Lit* unit) const {
+    int unassigned = 0;
+    Lit candidate = kUndefLit;
+    for (const Lit l : clause) {
+      const TriState v = values_[static_cast<std::size_t>(l.var())];
+      if (v == TriState::kUnset) {
+        ++unassigned;
+        candidate = l;
+      } else if ((v == TriState::kTrue) != l.negated()) {
+        return TriState::kTrue;  // literal satisfied
+      }
+    }
+    if (unassigned == 0) return TriState::kFalse;
+    if (unassigned == 1) *unit = candidate;
+    return TriState::kUnset;
+  }
+
+  // Unit-propagates to fixpoint; records assignments in `trail`. Returns
+  // false on a falsified clause.
+  bool PropagateUnits(std::vector<Var>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& clause : cnf_.clauses()) {
+        Lit unit = kUndefLit;
+        const TriState status = ClauseStatus(clause, &unit);
+        if (status == TriState::kFalse) return false;
+        if (status == TriState::kUnset && unit.IsValid()) {
+          values_[static_cast<std::size_t>(unit.var())] =
+              unit.negated() ? TriState::kFalse : TriState::kTrue;
+          trail.push_back(unit.var());
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Recurse() {
+    std::vector<Var> trail;
+    if (!PropagateUnits(trail)) {
+      Undo(trail);
+      return false;
+    }
+    Var branch = kUndefVar;
+    for (std::size_t v = 0; v < values_.size(); ++v) {
+      if (values_[v] == TriState::kUnset) {
+        branch = static_cast<Var>(v);
+        break;
+      }
+    }
+    if (branch == kUndefVar) return true;  // everything assigned, all sat
+    for (const TriState phase : {TriState::kTrue, TriState::kFalse}) {
+      values_[static_cast<std::size_t>(branch)] = phase;
+      if (Recurse()) return true;
+      values_[static_cast<std::size_t>(branch)] = TriState::kUnset;
+    }
+    Undo(trail);
+    return false;
+  }
+
+  void Undo(const std::vector<Var>& trail) {
+    for (const Var v : trail) {
+      values_[static_cast<std::size_t>(v)] = TriState::kUnset;
+    }
+  }
+
+  const Cnf& cnf_;
+  std::vector<TriState> values_;
+};
+
+}  // namespace
+
+std::optional<std::vector<bool>> SolveByDpll(const Cnf& cnf) {
+  for (const Clause& clause : cnf.clauses()) {
+    if (clause.empty()) return std::nullopt;
+  }
+  return DpllSearch(cnf).Run();
+}
+
+}  // namespace satfr::sat

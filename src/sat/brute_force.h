@@ -1,0 +1,25 @@
+// Reference SAT decision procedures for testing.
+//
+// Two deliberately simple, obviously-correct procedures used to cross-check
+// the CDCL engine in unit and property tests:
+//   * SolveByEnumeration — tries all 2^n assignments (n <= 24).
+//   * SolveByDpll        — plain recursive DPLL with unit propagation; no
+//                          learning, no heuristics beyond first-unassigned.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace satfr::sat {
+
+/// Exhaustive check; returns a model if one exists, std::nullopt otherwise.
+/// Precondition: cnf.num_vars() <= 24.
+std::optional<std::vector<bool>> SolveByEnumeration(const Cnf& cnf);
+
+/// Recursive DPLL; returns a model if one exists, std::nullopt otherwise.
+/// Exponential worst case — intended for test-sized formulas only.
+std::optional<std::vector<bool>> SolveByDpll(const Cnf& cnf);
+
+}  // namespace satfr::sat

@@ -1,0 +1,88 @@
+#include "sat/cnf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace satfr::sat {
+
+void Cnf::AddClause(Clause clause) {
+  for (const Lit l : clause) {
+    assert(l.IsValid());
+    assert(l.var() < num_vars_ && "literal on unallocated variable");
+    (void)l;
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+void Cnf::Append(const Cnf& other, int var_offset) {
+  EnsureVars(var_offset + other.num_vars());
+  for (const Clause& clause : other.clauses_) {
+    Clause shifted;
+    shifted.reserve(clause.size());
+    for (const Lit l : clause) {
+      shifted.push_back(Lit::Make(l.var() + var_offset, l.negated()));
+    }
+    clauses_.push_back(std::move(shifted));
+  }
+}
+
+std::size_t Cnf::num_literals() const {
+  std::size_t total = 0;
+  for (const Clause& clause : clauses_) total += clause.size();
+  return total;
+}
+
+std::size_t Cnf::NormalizeClauses() {
+  const std::size_t before = clauses_.size();
+  std::set<Clause> unique;
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size());
+  for (Clause& clause : clauses_) {
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    bool tautology = false;
+    for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+      if (clause[i].var() == clause[i + 1].var()) {
+        tautology = true;
+        break;
+      }
+    }
+    if (tautology) continue;
+    if (unique.insert(clause).second) {
+      kept.push_back(std::move(clause));
+    }
+  }
+  clauses_ = std::move(kept);
+  return before - clauses_.size();
+}
+
+bool Cnf::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  for (const Clause& clause : clauses_) {
+    bool satisfied = false;
+    for (const Lit l : clause) {
+      assert(static_cast<std::size_t>(l.var()) < assignment.size());
+      if (assignment[static_cast<std::size_t>(l.var())] != l.negated()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string Cnf::ToString() const {
+  std::string out = "p cnf " + std::to_string(num_vars_) + " " +
+                    std::to_string(clauses_.size()) + "\n";
+  for (const Clause& clause : clauses_) {
+    for (std::size_t i = 0; i < clause.size(); ++i) {
+      if (i > 0) out.push_back(' ');
+      out += clause[i].ToString();
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace satfr::sat

@@ -1,0 +1,75 @@
+// An in-memory CNF formula plus construction helpers.
+//
+// Cnf is the interchange format between the encoding layer and any solver
+// (our CDCL engine, the brute-force reference, or an external tool via
+// DIMACS). It owns its clauses; duplicate and tautological clauses are kept
+// as built unless NormalizeClauses() is called, so that encoders' exact
+// output (clause counts per Table 1) is observable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace satfr::sat {
+
+class Cnf {
+ public:
+  Cnf() = default;
+  explicit Cnf(int num_vars) : num_vars_(num_vars) {}
+
+  /// Allocates a fresh variable and returns it.
+  Var NewVar() { return num_vars_++; }
+
+  /// Allocates `n` fresh variables and returns the first.
+  Var NewVars(int n) {
+    const Var first = num_vars_;
+    num_vars_ += n;
+    return first;
+  }
+
+  int num_vars() const { return num_vars_; }
+
+  /// Grows the variable count to at least `n` (no-op if already larger).
+  void EnsureVars(int n) {
+    if (n > num_vars_) num_vars_ = n;
+  }
+
+  /// Appends a clause; variables must already be allocated.
+  void AddClause(Clause clause);
+
+  /// Convenience overloads for small clauses.
+  void AddUnit(Lit a) { AddClause({a}); }
+  void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
+  void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+  /// Appends all clauses of `other` with variables shifted by `var_offset`.
+  void Append(const Cnf& other, int var_offset);
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+  /// Total literal count across clauses.
+  std::size_t num_literals() const;
+
+  /// Sorts literals in each clause, drops duplicate literals, removes
+  /// tautological clauses (x or ~x), and dedups identical clauses.
+  /// Returns the number of clauses removed.
+  std::size_t NormalizeClauses();
+
+  /// True if `assignment` (indexed by variable) satisfies every clause.
+  /// Assignment entries beyond num_vars() are ignored; every clause literal
+  /// must be within the assignment.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+
+  /// Human-readable multi-line dump, one clause per line (for tests/demos).
+  std::string ToString() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace satfr::sat

@@ -1,0 +1,36 @@
+// DIMACS-CNF serialization.
+//
+// The paper's tool flow goes: routing -> graph coloring (.col) -> CNF
+// (DIMACS) -> SAT solver. These functions implement the CNF leg so the flow
+// can interoperate with external solvers and so CNF sizes can be inspected
+// on disk. Parsing is tolerant of comment lines and multi-line clauses.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sat/cnf.h"
+
+namespace satfr::sat {
+
+/// Writes `cnf` in DIMACS format ("p cnf V C" header, 0-terminated clauses).
+/// Optional comment lines (without the leading "c ") are emitted first.
+void WriteDimacs(const Cnf& cnf, std::ostream& out,
+                 const std::vector<std::string>& comments = {});
+
+/// Convenience: writes to a file; returns false if the file cannot be opened.
+bool WriteDimacsFile(const Cnf& cnf, const std::string& path,
+                     const std::vector<std::string>& comments = {});
+
+/// Parses DIMACS text. Returns std::nullopt on malformed input (missing or
+/// inconsistent header, literal out of range, unterminated clause).
+std::optional<Cnf> ParseDimacs(std::istream& in);
+
+/// Parses DIMACS from a string.
+std::optional<Cnf> ParseDimacsString(const std::string& text);
+
+/// Parses DIMACS from a file; std::nullopt if unreadable or malformed.
+std::optional<Cnf> ParseDimacsFile(const std::string& path);
+
+}  // namespace satfr::sat

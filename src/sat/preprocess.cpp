@@ -1,0 +1,256 @@
+#include "sat/preprocess.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace satfr::sat {
+namespace {
+
+// Working clause set with alive flags and per-literal occurrence lists.
+class Workset {
+ public:
+  Workset(const Cnf& cnf, std::vector<LBool>& forced,
+          PreprocessStats& stats)
+      : num_vars_(cnf.num_vars()), forced_(forced), stats_(stats) {
+    clauses_.reserve(cnf.num_clauses());
+    for (const Clause& clause : cnf.clauses()) {
+      Clause sorted = clause;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      bool tautology = false;
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        if (sorted[i].var() == sorted[i + 1].var()) {
+          tautology = true;
+          break;
+        }
+      }
+      if (tautology) continue;
+      clauses_.push_back(std::move(sorted));
+    }
+    alive_.assign(clauses_.size(), true);
+  }
+
+  bool contradiction() const { return contradiction_; }
+
+  LBool Value(Lit l) const {
+    return LitValue(l, forced_[static_cast<std::size_t>(l.var())]);
+  }
+
+  void Force(Lit l) {
+    const LBool current = Value(l);
+    if (current == LBool::kTrue) return;
+    if (current == LBool::kFalse) {
+      contradiction_ = true;
+      return;
+    }
+    forced_[static_cast<std::size_t>(l.var())] =
+        l.negated() ? LBool::kFalse : LBool::kTrue;
+    ++stats_.forced_units;
+  }
+
+  /// Applies the current forced assignment to every clause; derives new
+  /// units to fixpoint. Returns true if anything changed.
+  bool PropagateUnits() {
+    bool changed_any = false;
+    bool changed = true;
+    while (changed && !contradiction_) {
+      changed = false;
+      for (std::size_t c = 0; c < clauses_.size(); ++c) {
+        if (!alive_[c]) continue;
+        Clause& clause = clauses_[c];
+        bool satisfied = false;
+        std::size_t keep = 0;
+        for (const Lit l : clause) {
+          const LBool v = Value(l);
+          if (v == LBool::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == LBool::kUndef) clause[keep++] = l;
+        }
+        if (satisfied) {
+          alive_[c] = false;
+          ++stats_.removed_satisfied;
+          changed = changed_any = true;
+          continue;
+        }
+        if (keep != clause.size()) {
+          clause.resize(keep);
+          changed = changed_any = true;
+        }
+        if (clause.empty()) {
+          contradiction_ = true;
+          return true;
+        }
+        if (clause.size() == 1) {
+          Force(clause[0]);
+          alive_[c] = false;  // absorbed into `forced`
+          changed = changed_any = true;
+        }
+      }
+    }
+    return changed_any;
+  }
+
+  void RebuildOccurrences() {
+    occurrences_.assign(static_cast<std::size_t>(2 * num_vars_), {});
+    for (std::size_t c = 0; c < clauses_.size(); ++c) {
+      if (!alive_[c]) continue;
+      for (const Lit l : clauses_[c]) {
+        occurrences_[static_cast<std::size_t>(l.code())].push_back(c);
+      }
+    }
+  }
+
+  /// Clauses (ids) that might be supersets of `cube`: the occurrence list
+  /// of its rarest literal.
+  const std::vector<std::size_t>& CandidatesFor(const Clause& cube) const {
+    const std::vector<std::size_t>* best = nullptr;
+    for (const Lit l : cube) {
+      const auto& list = occurrences_[static_cast<std::size_t>(l.code())];
+      if (!best || list.size() < best->size()) best = &list;
+    }
+    static const std::vector<std::size_t> kEmpty;
+    return best ? *best : kEmpty;
+  }
+
+  static bool IsSubset(const Clause& small, const Clause& big) {
+    // Both sorted.
+    std::size_t i = 0;
+    for (const Lit l : big) {
+      if (i == small.size()) return true;
+      if (small[i] == l) ++i;
+    }
+    return i == small.size();
+  }
+
+  /// Removes every live clause strictly subsumed by another live clause.
+  bool SubsumeAll() {
+    RebuildOccurrences();
+    bool changed = false;
+    for (std::size_t c = 0; c < clauses_.size(); ++c) {
+      if (!alive_[c] || clauses_[c].empty()) continue;
+      for (const std::size_t d : CandidatesFor(clauses_[c])) {
+        if (d == c || !alive_[d] || !alive_[c]) continue;
+        if (clauses_[d].size() < clauses_[c].size()) continue;
+        if (clauses_[d].size() == clauses_[c].size() && d < c) {
+          continue;  // equal clauses: keep the earlier one
+        }
+        if (IsSubset(clauses_[c], clauses_[d])) {
+          alive_[d] = false;
+          ++stats_.removed_subsumed;
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  }
+
+  /// Self-subsuming resolution: if C with one literal flipped is a subset
+  /// of D, the flipped literal can be deleted from D.
+  bool StrengthenAll() {
+    RebuildOccurrences();
+    bool changed = false;
+    for (std::size_t c = 0; c < clauses_.size(); ++c) {
+      if (!alive_[c]) continue;
+      const Clause base = clauses_[c];  // copy: clauses_[c] may shrink too
+      for (const Lit l : base) {
+        Clause flipped = base;
+        auto it = std::find(flipped.begin(), flipped.end(), l);
+        *it = ~l;
+        std::sort(flipped.begin(), flipped.end());
+        for (const std::size_t d :
+             occurrences_[static_cast<std::size_t>((~l).code())]) {
+          if (d == c || !alive_[d]) continue;
+          if (clauses_[d].size() < flipped.size()) continue;
+          if (IsSubset(flipped, clauses_[d])) {
+            auto& target = clauses_[d];
+            target.erase(std::find(target.begin(), target.end(), ~l));
+            ++stats_.strengthened_literals;
+            changed = true;
+            if (target.empty()) {
+              contradiction_ = true;
+              return true;
+            }
+            if (target.size() == 1) {
+              Force(target[0]);
+              alive_[d] = false;
+            }
+          }
+        }
+        if (contradiction_) return true;
+      }
+    }
+    return changed;
+  }
+
+  Cnf Export() const {
+    Cnf out(num_vars_);
+    if (contradiction_) {
+      out.AddClause({});
+      return out;
+    }
+    for (std::size_t c = 0; c < clauses_.size(); ++c) {
+      if (alive_[c]) out.AddClause(clauses_[c]);
+    }
+    // Re-emit forced facts as units so the simplified formula is
+    // self-contained (solvable without consulting `forced`).
+    for (Var v = 0; v < num_vars_; ++v) {
+      const LBool value = forced_[static_cast<std::size_t>(v)];
+      if (value != LBool::kUndef) {
+        out.AddUnit(Lit::Make(v, value == LBool::kFalse));
+      }
+    }
+    return out;
+  }
+
+ private:
+  int num_vars_;
+  std::vector<LBool>& forced_;
+  PreprocessStats& stats_;
+  std::vector<Clause> clauses_;
+  std::vector<bool> alive_;
+  std::vector<std::vector<std::size_t>> occurrences_;
+  bool contradiction_ = false;
+};
+
+}  // namespace
+
+PreprocessResult Preprocess(const Cnf& cnf,
+                            const PreprocessOptions& options) {
+  PreprocessResult result;
+  result.forced.assign(static_cast<std::size_t>(cnf.num_vars()),
+                       LBool::kUndef);
+  Workset work(cnf, result.forced, result.stats);
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++result.stats.rounds;
+    bool changed = work.PropagateUnits();
+    if (work.contradiction()) break;
+    if (options.subsumption) changed |= work.SubsumeAll();
+    if (options.self_subsumption && !work.contradiction()) {
+      changed |= work.StrengthenAll();
+    }
+    if (work.contradiction() || !changed) break;
+  }
+  // Final cleanup pass so strengthening-derived units are applied.
+  if (!work.contradiction()) work.PropagateUnits();
+
+  result.contradiction = work.contradiction();
+  result.simplified = work.Export();
+  return result;
+}
+
+std::vector<bool> ReconstructModel(const PreprocessResult& result,
+                                   const std::vector<bool>& simplified_model) {
+  std::vector<bool> model = simplified_model;
+  model.resize(result.forced.size(), false);
+  for (std::size_t v = 0; v < result.forced.size(); ++v) {
+    if (result.forced[v] != LBool::kUndef) {
+      model[v] = (result.forced[v] == LBool::kTrue);
+    }
+  }
+  return model;
+}
+
+}  // namespace satfr::sat

@@ -1,0 +1,58 @@
+// CNF preprocessing: top-level unit propagation, subsumption, and
+// self-subsuming resolution (the classic SatELite-style inprocessing
+// subset, minus variable elimination).
+//
+// The coloring CNFs the encodings emit contain exploitable redundancy —
+// e.g. symmetry-breaking units cascade through at-least-one clauses, and
+// hierarchical restriction clauses often subsume conflict clauses. This
+// module simplifies a formula while preserving equivalence over the
+// original variables, so decoded models remain valid:
+//   * variables keep their numbering (no renumbering/elimination),
+//   * facts derived at top level are reported in `forced`,
+//   * ReconstructModel merges a model of the simplified formula with the
+//     forced values to yield a model of the original formula.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace satfr::sat {
+
+struct PreprocessOptions {
+  bool subsumption = true;
+  bool self_subsumption = true;
+  /// Simplification rounds (each: propagate, subsume, strengthen).
+  int max_rounds = 3;
+};
+
+struct PreprocessStats {
+  std::size_t forced_units = 0;
+  std::size_t removed_satisfied = 0;
+  std::size_t removed_subsumed = 0;
+  std::size_t strengthened_literals = 0;
+  int rounds = 0;
+};
+
+struct PreprocessResult {
+  /// Simplified formula over the same variable space.
+  Cnf simplified;
+  /// Per-variable top-level facts (kUndef if not forced).
+  std::vector<LBool> forced;
+  PreprocessStats stats;
+  /// True if preprocessing alone refuted the formula (simplified then
+  /// contains the empty clause).
+  bool contradiction = false;
+};
+
+PreprocessResult Preprocess(const Cnf& cnf,
+                            const PreprocessOptions& options = {});
+
+/// Lifts a model of `result.simplified` to a model of the original
+/// formula: forced variables take their forced value, everything else its
+/// value in `simplified_model` (which must cover the original variables).
+std::vector<bool> ReconstructModel(const PreprocessResult& result,
+                                   const std::vector<bool>& simplified_model);
+
+}  // namespace satfr::sat

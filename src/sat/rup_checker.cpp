@@ -1,0 +1,164 @@
+#include "sat/rup_checker.h"
+
+#include <cassert>
+
+namespace satfr::sat {
+namespace {
+
+// Minimal two-watched-literal propagation engine over a growing clause
+// database. Supports permanent (level-0) facts and temporary assumptions
+// that can be rolled back after each RUP check.
+class Propagator {
+ public:
+  explicit Propagator(int num_vars)
+      : assigns_(static_cast<std::size_t>(num_vars), LBool::kUndef),
+        watches_(2 * static_cast<std::size_t>(num_vars)) {}
+
+  LBool Value(Lit l) const {
+    return LitValue(l, assigns_[static_cast<std::size_t>(l.var())]);
+  }
+
+  /// Adds a clause to the database. Returns false if the database is now
+  /// refuted outright (empty clause, or conflicting permanent unit).
+  bool AddClause(const Clause& clause) {
+    if (refuted_) return false;
+    // Drop literals already permanently false; detect satisfaction.
+    Clause reduced;
+    for (const Lit l : clause) {
+      const LBool v = Value(l);
+      if (v == LBool::kTrue) return true;  // permanently satisfied
+      if (v == LBool::kUndef) reduced.push_back(l);
+    }
+    if (reduced.empty()) {
+      refuted_ = true;
+      return false;
+    }
+    if (reduced.size() == 1) {
+      Enqueue(reduced[0]);
+      if (!Propagate()) {
+        refuted_ = true;
+        return false;
+      }
+      trail_floor_ = trail_.size();  // make the consequences permanent
+      return true;
+    }
+    const std::size_t id = clauses_.size();
+    clauses_.push_back(reduced);
+    Watch(reduced[0], id);
+    Watch(reduced[1], id);
+    return true;
+  }
+
+  bool refuted() const { return refuted_; }
+
+  /// RUP check: does asserting the negation of `clause` yield a conflict
+  /// under unit propagation? The temporary assignments are rolled back.
+  bool IsRupConsequence(const Clause& clause) {
+    if (refuted_) return true;  // anything follows from a refuted database
+    const std::size_t mark = trail_.size();
+    bool conflict = false;
+    for (const Lit l : clause) {
+      const LBool v = Value(l);
+      if (v == LBool::kTrue) {
+        // Negation is immediately contradictory.
+        conflict = true;
+        break;
+      }
+      if (v == LBool::kUndef) Enqueue(~l);
+    }
+    if (!conflict) conflict = !Propagate();
+    // Roll back to the permanent trail.
+    while (trail_.size() > mark) {
+      assigns_[static_cast<std::size_t>(trail_.back().var())] = LBool::kUndef;
+      trail_.pop_back();
+    }
+    qhead_ = trail_floor_;
+    return conflict;
+  }
+
+ private:
+  void Watch(Lit l, std::size_t clause_id) {
+    watches_[static_cast<std::size_t>((~l).code())].push_back(clause_id);
+  }
+
+  void Enqueue(Lit l) {
+    assert(Value(l) == LBool::kUndef);
+    assigns_[static_cast<std::size_t>(l.var())] =
+        l.negated() ? LBool::kFalse : LBool::kTrue;
+    trail_.push_back(l);
+  }
+
+  // Returns false on conflict.
+  bool Propagate() {
+    while (qhead_ < trail_.size()) {
+      const Lit p = trail_[qhead_++];
+      auto& list = watches_[static_cast<std::size_t>(p.code())];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const std::size_t id = list[i];
+        Clause& c = clauses_[id];
+        const Lit false_lit = ~p;
+        if (c[0] == false_lit) std::swap(c[0], c[1]);
+        if (Value(c[0]) == LBool::kTrue) {
+          list[keep++] = id;
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < c.size(); ++k) {
+          if (Value(c[k]) != LBool::kFalse) {
+            std::swap(c[1], c[k]);
+            Watch(c[1], id);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        list[keep++] = id;
+        if (Value(c[0]) == LBool::kFalse) {
+          for (++i; i < list.size(); ++i) list[keep++] = list[i];
+          list.resize(keep);
+          return false;
+        }
+        if (Value(c[0]) == LBool::kUndef) Enqueue(c[0]);
+      }
+      list.resize(keep);
+    }
+    return true;
+  }
+
+  std::vector<LBool> assigns_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::size_t>> watches_;  // by literal code
+  std::vector<Lit> trail_;
+  std::size_t trail_floor_ = 0;
+  std::size_t qhead_ = 0;
+  bool refuted_ = false;
+};
+
+}  // namespace
+
+bool VerifyRupRefutation(const Cnf& cnf, const std::vector<Clause>& proof,
+                         std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  Propagator prop(cnf.num_vars());
+  for (const Clause& clause : cnf.clauses()) {
+    if (!prop.AddClause(clause)) break;  // formula refuted by propagation
+  }
+  for (std::size_t step = 0; step < proof.size(); ++step) {
+    const Clause& clause = proof[step];
+    if (prop.refuted()) return true;  // already refuted; remaining steps moot
+    if (!prop.IsRupConsequence(clause)) {
+      return fail("proof step " + std::to_string(step) +
+                  " is not a RUP consequence");
+    }
+    if (clause.empty()) return true;  // explicit empty clause verified
+    if (!prop.AddClause(clause)) return true;  // adding it refuted the DB
+  }
+  if (prop.refuted()) return true;
+  return fail("proof does not derive the empty clause");
+}
+
+}  // namespace satfr::sat

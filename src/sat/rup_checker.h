@@ -1,0 +1,31 @@
+// RUP (reverse unit propagation) proof checking.
+//
+// The paper's central capability is *proving* that a global routing is
+// unroutable at width W. To make those UNSAT answers independently
+// auditable, the Solver can log every learned clause (a DRUP-style proof:
+// each logged clause is a RUP consequence of the formula plus the clauses
+// logged before it, ending in the empty clause). This module re-verifies
+// such a proof with its own two-watched-literal propagation engine that
+// shares no code with the solver's search.
+//
+// Deletion information is not tracked: the checker keeps every clause,
+// which is sound (a superset of clauses can only make unit propagation
+// stronger, so every accepted step remains a valid consequence).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace satfr::sat {
+
+/// Checks that `proof` is a valid RUP refutation of `cnf`: every clause
+/// must be derivable by reverse unit propagation from the formula plus the
+/// previously accepted clauses, and the proof must establish the empty
+/// clause (directly, or via a top-level propagation conflict). Returns
+/// false with a diagnostic in `error` otherwise.
+bool VerifyRupRefutation(const Cnf& cnf, const std::vector<Clause>& proof,
+                         std::string* error = nullptr);
+
+}  // namespace satfr::sat

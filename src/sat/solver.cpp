@@ -1,0 +1,744 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace satfr::sat {
+
+const char* ToString(SolveResult result) {
+  switch (result) {
+    case SolveResult::kSat:
+      return "SAT";
+    case SolveResult::kUnsat:
+      return "UNSAT";
+    case SolveResult::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+SolverOptions SolverOptions::MiniSatLike() {
+  SolverOptions opts;
+  opts.var_decay = 0.95;
+  opts.clause_decay = 0.999;
+  opts.random_decision_freq = 0.0;
+  opts.luby_restarts = true;
+  opts.restart_base = 100;
+  return opts;
+}
+
+SolverOptions SolverOptions::SiegeLike() {
+  SolverOptions opts;
+  opts.var_decay = 0.99;
+  opts.clause_decay = 0.999;
+  opts.random_decision_freq = 0.02;
+  opts.luby_restarts = false;
+  opts.restart_base = 512;
+  opts.restart_growth = 1.4;
+  opts.learnt_size_factor = 0.5;
+  return opts;
+}
+
+float Solver::ClauseView::Activity() const {
+  float value;
+  std::memcpy(&value, header + 1, sizeof(value));
+  return value;
+}
+
+void Solver::ClauseView::SetActivity(float activity) const {
+  std::memcpy(header + 1, &activity, sizeof(activity));
+}
+
+// ---------------------------------------------------------------- VarOrder
+
+bool Solver::VarOrder::Contains(Var v) const {
+  return static_cast<std::size_t>(v) < position_.size() &&
+         position_[static_cast<std::size_t>(v)] >= 0;
+}
+
+void Solver::VarOrder::Grow(int num_vars) {
+  position_.resize(static_cast<std::size_t>(num_vars), -1);
+}
+
+void Solver::VarOrder::Insert(Var v) {
+  if (Contains(v)) return;
+  position_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  SiftUp(heap_.size() - 1);
+}
+
+void Solver::VarOrder::Update(Var v) {
+  if (!Contains(v)) return;
+  SiftUp(static_cast<std::size_t>(position_[static_cast<std::size_t>(v)]));
+}
+
+Var Solver::VarOrder::RemoveMax() {
+  assert(!heap_.empty());
+  const Var top = heap_[0];
+  heap_[0] = heap_.back();
+  position_[static_cast<std::size_t>(heap_[0])] = 0;
+  heap_.pop_back();
+  position_[static_cast<std::size_t>(top)] = -1;
+  if (!heap_.empty()) SiftDown(0);
+  return top;
+}
+
+void Solver::VarOrder::SiftUp(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Before(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    position_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  position_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+}
+
+void Solver::VarOrder::SiftDown(std::size_t i) {
+  const Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Before(heap_[child + 1], heap_[child])) ++child;
+    if (!Before(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    position_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  position_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+}
+
+// ------------------------------------------------------------------ Solver
+
+Solver::Solver(SolverOptions options)
+    : options_(options), rng_(options.seed), order_(activity_) {}
+
+Var Solver::NewVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  saved_phase_.push_back(options_.default_phase_positive);
+  level_.push_back(0);
+  reason_.push_back(kNoClause);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  order_.Grow(num_vars());
+  order_.Insert(v);
+  return v;
+}
+
+Solver::ClauseRef Solver::AllocClause(const Clause& lits, bool learnt) {
+  const std::uint32_t extra = learnt ? 3u : 1u;
+  const ClauseRef cref = static_cast<ClauseRef>(arena_.size());
+  arena_.resize(arena_.size() + extra + lits.size());
+  ClauseView c = View(cref);
+  *c.header = (static_cast<std::uint32_t>(lits.size()) << 3) | (learnt ? 1u : 0u);
+  if (learnt) {
+    c.SetActivity(0.0f);
+    c.Lbd() = static_cast<std::uint32_t>(lits.size());
+  }
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    c[static_cast<std::uint32_t>(i)] = lits[i];
+  }
+  return cref;
+}
+
+void Solver::FreeClause(ClauseRef cref) {
+  ClauseView c = View(cref);
+  wasted_words_ += c.Words();
+  c.MarkDeleted();
+}
+
+void Solver::AttachClause(ClauseRef cref) {
+  ClauseView c = View(cref);
+  assert(c.size() >= 2);
+  watches_[static_cast<std::size_t>((~c[0]).code())].push_back(
+      Watcher{cref, c[1]});
+  watches_[static_cast<std::size_t>((~c[1]).code())].push_back(
+      Watcher{cref, c[0]});
+}
+
+void Solver::DetachClause(ClauseRef cref) {
+  ClauseView c = View(cref);
+  for (int w = 0; w < 2; ++w) {
+    auto& list = watches_[static_cast<std::size_t>((~c[w]).code())];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].cref == cref) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::Locked(ClauseRef cref) {
+  ClauseView c = View(cref);
+  const Var v = c[0].var();
+  return Value(c[0]) == LBool::kTrue &&
+         reason_[static_cast<std::size_t>(v)] == cref;
+}
+
+void Solver::RemoveClause(ClauseRef cref) {
+  DetachClause(cref);
+  if (Locked(cref)) {
+    ClauseView c = View(cref);
+    reason_[static_cast<std::size_t>(c[0].var())] = kNoClause;
+  }
+  FreeClause(cref);
+}
+
+bool Solver::AddClause(Clause clause) {
+  assert(DecisionLevel() == 0);
+  if (!ok_) return false;
+  for (const Lit l : clause) {
+    assert(l.IsValid() && l.var() < num_vars());
+    (void)l;
+  }
+  // Simplify against the level-0 assignment; drop duplicates/tautologies.
+  std::sort(clause.begin(), clause.end());
+  Clause simplified;
+  Lit previous = kUndefLit;
+  for (const Lit l : clause) {
+    const LBool value = Value(l);
+    if (value == LBool::kTrue || l == ~previous) return true;  // satisfied
+    if (value != LBool::kFalse && l != previous) {
+      simplified.push_back(l);
+      previous = l;
+    }
+  }
+  // Strengthened clauses are RUP consequences of the database; log them so
+  // the proof checker sees exactly what the solver will propagate on.
+  if (proof_log_ && simplified.size() < clause.size()) {
+    proof_log_->push_back(simplified);
+  }
+  if (simplified.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (simplified.size() == 1) {
+    UncheckedEnqueue(simplified[0], kNoClause);
+    ok_ = (Propagate() == kNoClause);
+    if (!ok_ && proof_log_) proof_log_->push_back(Clause{});
+    return ok_;
+  }
+  const ClauseRef cref = AllocClause(simplified, /*learnt=*/false);
+  clauses_.push_back(cref);
+  AttachClause(cref);
+  return true;
+}
+
+bool Solver::AddCnf(const Cnf& cnf) {
+  while (num_vars() < cnf.num_vars()) NewVar();
+  for (const Clause& clause : cnf.clauses()) {
+    if (!AddClause(clause)) return false;
+  }
+  return true;
+}
+
+void Solver::UncheckedEnqueue(Lit p, ClauseRef from) {
+  const std::size_t v = static_cast<std::size_t>(p.var());
+  assert(assigns_[v] == LBool::kUndef);
+  assigns_[v] = p.negated() ? LBool::kFalse : LBool::kTrue;
+  level_[v] = DecisionLevel();
+  reason_[v] = from;
+  trail_.push_back(p);
+}
+
+Solver::ClauseRef Solver::Propagate() {
+  ClauseRef conflict = kNoClause;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& watch_list = watches_[static_cast<std::size_t>(p.code())];
+    std::size_t keep = 0;
+    std::size_t i = 0;
+    const Lit false_lit = ~p;
+    for (; i < watch_list.size(); ++i) {
+      const Watcher w = watch_list[i];
+      if (Value(w.blocker) == LBool::kTrue) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      ClauseView c = View(w.cref);
+      if (c[0] == false_lit) {
+        c[0] = c[1];
+        c[1] = false_lit;
+      }
+      assert(c[1] == false_lit);
+      const Lit first = c[0];
+      if (first != w.blocker && Value(first) == LBool::kTrue) {
+        watch_list[keep++] = Watcher{w.cref, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (Value(c[k]) != LBool::kFalse) {
+          c[1] = c[k];
+          c[k] = false_lit;
+          watches_[static_cast<std::size_t>((~c[1]).code())].push_back(
+              Watcher{w.cref, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      watch_list[keep++] = Watcher{w.cref, first};
+      if (Value(first) == LBool::kFalse) {
+        conflict = w.cref;
+        qhead_ = trail_.size();
+        for (++i; i < watch_list.size(); ++i) {
+          watch_list[keep++] = watch_list[i];
+        }
+        break;
+      }
+      UncheckedEnqueue(first, w.cref);
+    }
+    watch_list.resize(keep);
+    if (conflict != kNoClause) break;
+  }
+  return conflict;
+}
+
+void Solver::BumpVarActivity(Var v) {
+  if ((activity_[static_cast<std::size_t>(v)] += var_inc_) > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_.Update(v);
+}
+
+void Solver::BumpClauseActivity(ClauseView c) {
+  const float bumped = c.Activity() + static_cast<float>(clause_inc_);
+  c.SetActivity(bumped);
+  if (bumped > 1e20f) {
+    for (const ClauseRef cref : learnts_) {
+      ClauseView lc = View(cref);
+      if (!lc.deleted()) lc.SetActivity(lc.Activity() * 1e-20f);
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::Analyze(ClauseRef confl, Clause& out_learnt, int& out_btlevel,
+                     std::uint32_t& out_lbd) {
+  int path_count = 0;
+  Lit p = kUndefLit;
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // placeholder for the asserting literal
+  int index = static_cast<int>(trail_.size()) - 1;
+
+  do {
+    assert(confl != kNoClause);
+    ClauseView c = View(confl);
+    if (c.learnt()) BumpClauseActivity(c);
+    for (std::uint32_t j = (p == kUndefLit) ? 0 : 1; j < c.size(); ++j) {
+      const Lit q = c[j];
+      const std::size_t v = static_cast<std::size_t>(q.var());
+      if (!seen_[v] && LevelOf(q.var()) > 0) {
+        BumpVarActivity(q.var());
+        seen_[v] = 1;
+        if (LevelOf(q.var()) >= DecisionLevel()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    // Select the next implication to expand.
+    while (!seen_[static_cast<std::size_t>(trail_[static_cast<std::size_t>(
+        index--)].var())]) {
+    }
+    p = trail_[static_cast<std::size_t>(index + 1)];
+    confl = reason_[static_cast<std::size_t>(p.var())];
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  analyze_toclear_ = out_learnt;
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    abstract_levels |= AbstractLevel(out_learnt[i].var());
+  }
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const Lit l = out_learnt[i];
+    if (reason_[static_cast<std::size_t>(l.var())] == kNoClause ||
+        !LitRedundant(l, abstract_levels)) {
+      out_learnt[kept++] = l;
+    }
+  }
+  stats_.minimized_literals += out_learnt.size() - kept;
+  out_learnt.resize(kept);
+
+  // Find the backtrack level (highest level below the current one).
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (LevelOf(out_learnt[i].var()) > LevelOf(out_learnt[max_i].var())) {
+        max_i = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = LevelOf(out_learnt[1].var());
+  }
+
+  out_lbd = ComputeLbd(out_learnt);
+
+  for (const Lit l : analyze_toclear_) {
+    seen_[static_cast<std::size_t>(l.var())] = 0;
+  }
+}
+
+bool Solver::LitRedundant(Lit p, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p);
+  const std::size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit l = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef cref = reason_[static_cast<std::size_t>(l.var())];
+    assert(cref != kNoClause);
+    ClauseView c = View(cref);
+    for (std::uint32_t i = 1; i < c.size(); ++i) {
+      const Lit q = c[i];
+      const std::size_t v = static_cast<std::size_t>(q.var());
+      if (!seen_[v] && LevelOf(q.var()) > 0) {
+        if (reason_[v] != kNoClause &&
+            (AbstractLevel(q.var()) & abstract_levels) != 0) {
+          seen_[v] = 1;
+          analyze_stack_.push_back(q);
+          analyze_toclear_.push_back(q);
+        } else {
+          for (std::size_t j = top; j < analyze_toclear_.size(); ++j) {
+            seen_[static_cast<std::size_t>(analyze_toclear_[j].var())] = 0;
+          }
+          analyze_toclear_.resize(top);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t Solver::ComputeLbd(const Clause& lits) {
+  // Number of distinct decision levels in the clause (Glucose's metric).
+  static thread_local std::vector<int> seen_levels;
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const int lvl = LevelOf(l.var());
+    if (static_cast<std::size_t>(lvl) >= seen_levels.size()) {
+      seen_levels.resize(static_cast<std::size_t>(lvl) + 1, 0);
+    }
+    if (seen_levels[static_cast<std::size_t>(lvl)] == 0) {
+      seen_levels[static_cast<std::size_t>(lvl)] = 1;
+      ++lbd;
+    }
+  }
+  for (const Lit l : lits) {
+    seen_levels[static_cast<std::size_t>(LevelOf(l.var()))] = 0;
+  }
+  return lbd;
+}
+
+void Solver::Backtrack(int target_level) {
+  if (DecisionLevel() <= target_level) return;
+  const int boundary = trail_lim_[static_cast<std::size_t>(target_level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= boundary; --i) {
+    const Lit p = trail_[static_cast<std::size_t>(i)];
+    const std::size_t v = static_cast<std::size_t>(p.var());
+    assigns_[v] = LBool::kUndef;
+    if (options_.phase_saving) {
+      saved_phase_[v] = !p.negated();
+    }
+    if (!order_.Contains(p.var())) order_.Insert(p.var());
+  }
+  qhead_ = static_cast<std::size_t>(boundary);
+  trail_.resize(static_cast<std::size_t>(boundary));
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+}
+
+Lit Solver::PickBranchLit() {
+  // Occasional random decision for diversification.
+  if (options_.random_decision_freq > 0.0 &&
+      rng_.NextBool(options_.random_decision_freq) && !order_.Empty()) {
+    const Var v = static_cast<Var>(rng_.NextBelow(
+        static_cast<std::uint64_t>(num_vars())));
+    if (Value(v) == LBool::kUndef) {
+      return Lit::Make(v, !saved_phase_[static_cast<std::size_t>(v)]);
+    }
+  }
+  while (!order_.Empty()) {
+    const Var v = order_.RemoveMax();
+    if (Value(v) == LBool::kUndef) {
+      return Lit::Make(v, !saved_phase_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return kUndefLit;
+}
+
+void Solver::RemoveSatisfied(std::vector<ClauseRef>& list) {
+  std::size_t keep = 0;
+  for (const ClauseRef cref : list) {
+    ClauseView c = View(cref);
+    bool satisfied = false;
+    for (std::uint32_t i = 0; i < c.size(); ++i) {
+      if (Value(c[i]) == LBool::kTrue) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) {
+      RemoveClause(cref);
+      ++stats_.removed;
+    } else {
+      list[keep++] = cref;
+    }
+  }
+  list.resize(keep);
+}
+
+void Solver::SimplifyAtLevelZero() {
+  assert(DecisionLevel() == 0);
+  if (!ok_) return;
+  // Only worth redoing once new top-level facts have arrived.
+  if (static_cast<std::int64_t>(trail_.size()) == simplify_trail_size_) {
+    return;
+  }
+  simplify_trail_size_ = static_cast<std::int64_t>(trail_.size());
+  RemoveSatisfied(learnts_);
+  RemoveSatisfied(clauses_);
+  CollectGarbageIfNeeded();
+}
+
+void Solver::ReduceDb() {
+  // Order learnts worst-first: high LBD, then low activity.
+  std::vector<ClauseRef> candidates;
+  candidates.reserve(learnts_.size());
+  for (const ClauseRef cref : learnts_) {
+    ClauseView c = View(cref);
+    if (c.size() > 2 && c.Lbd() > 2 && !Locked(cref)) {
+      candidates.push_back(cref);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              ClauseView ca = View(a);
+              ClauseView cb = View(b);
+              if (ca.Lbd() != cb.Lbd()) return ca.Lbd() > cb.Lbd();
+              return ca.Activity() < cb.Activity();
+            });
+  const std::size_t to_remove = candidates.size() / 2;
+  for (std::size_t i = 0; i < to_remove; ++i) {
+    RemoveClause(candidates[i]);
+    ++stats_.removed;
+  }
+  // Compact the learnt list (deleted clauses have their flag set).
+  std::size_t keep = 0;
+  for (const ClauseRef cref : learnts_) {
+    if (!View(cref).deleted()) learnts_[keep++] = cref;
+  }
+  learnts_.resize(keep);
+  max_learnts_ *= options_.learnt_size_inc;
+  CollectGarbageIfNeeded();
+}
+
+void Solver::CollectGarbageIfNeeded() {
+  if (arena_.empty() || wasted_words_ * 2 < arena_.size() ||
+      arena_.size() < (1u << 16)) {
+    return;
+  }
+  ++stats_.gc_runs;
+  std::vector<std::uint32_t> new_arena;
+  new_arena.reserve(arena_.size() - wasted_words_);
+  auto relocate = [&](ClauseRef old_ref) -> ClauseRef {
+    ClauseView c = ClauseView{arena_.data() + old_ref};
+    assert(!c.deleted());
+    const ClauseRef new_ref = static_cast<ClauseRef>(new_arena.size());
+    const std::uint32_t words = c.Words();
+    new_arena.insert(new_arena.end(), c.header, c.header + words);
+    // Leave a forwarding pointer in the old header.
+    *c.header = (new_ref << 3) | 4u;
+    return new_ref;
+  };
+  for (ClauseRef& cref : clauses_) cref = relocate(cref);
+  for (ClauseRef& cref : learnts_) cref = relocate(cref);
+  // Remap reasons of currently assigned variables.
+  for (const Lit p : trail_) {
+    ClauseRef& r = reason_[static_cast<std::size_t>(p.var())];
+    if (r != kNoClause) {
+      const std::uint32_t header = arena_[r];
+      assert((header & 4u) != 0 && "reason clause must be live");
+      r = header >> 3;
+    }
+  }
+  arena_ = std::move(new_arena);
+  wasted_words_ = 0;
+  // Rebuild all watch lists from scratch.
+  for (auto& list : watches_) list.clear();
+  for (const ClauseRef cref : clauses_) AttachClause(cref);
+  for (const ClauseRef cref : learnts_) AttachClause(cref);
+}
+
+double Solver::Luby(double y, int i) {
+  // Find the finite subsequence containing index i, and its position.
+  int size = 1;
+  int seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
+                     const std::atomic<bool>* stop) {
+  std::int64_t conflicts_here = 0;
+  Clause learnt;
+  for (;;) {
+    const ClauseRef confl = Propagate();
+    if (confl != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (DecisionLevel() == 0) {
+        if (proof_log_) proof_log_->push_back(Clause{});
+        return LBool::kFalse;
+      }
+      int backtrack_level = 0;
+      std::uint32_t lbd = 0;
+      Analyze(confl, learnt, backtrack_level, lbd);
+      if (proof_log_) proof_log_->push_back(learnt);
+      Backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        UncheckedEnqueue(learnt[0], kNoClause);
+      } else {
+        const ClauseRef cref = AllocClause(learnt, /*learnt=*/true);
+        View(cref).Lbd() = lbd;
+        learnts_.push_back(cref);
+        AttachClause(cref);
+        BumpClauseActivity(View(cref));
+        UncheckedEnqueue(learnt[0], cref);
+      }
+      ++stats_.learned;
+      DecayVarActivity();
+      DecayClauseActivity();
+      if ((stats_.conflicts & 255u) == 0 &&
+          (deadline.Expired() || (stop && stop->load(std::memory_order_relaxed)))) {
+        budget_exhausted_ = true;
+        return LBool::kUndef;
+      }
+    } else {
+      if (conflicts_here >= conflict_budget) {
+        Backtrack(0);
+        return LBool::kUndef;  // restart
+      }
+      if (deadline.Expired() ||
+          (stop && stop->load(std::memory_order_relaxed))) {
+        budget_exhausted_ = true;
+        return LBool::kUndef;
+      }
+      if (DecisionLevel() == 0) SimplifyAtLevelZero();
+      if (static_cast<double>(learnts_.size()) -
+              static_cast<double>(trail_.size()) >=
+          max_learnts_) {
+        ReduceDb();
+      }
+      // Assert pending assumptions first, one decision level each.
+      Lit next = kUndefLit;
+      while (DecisionLevel() < static_cast<int>(assumptions_.size())) {
+        const Lit p =
+            assumptions_[static_cast<std::size_t>(DecisionLevel())];
+        if (Value(p) == LBool::kTrue) {
+          NewDecisionLevel();  // already satisfied: dummy level
+        } else if (Value(p) == LBool::kFalse) {
+          conflict_under_assumptions_ = true;
+          return LBool::kFalse;
+        } else {
+          next = p;
+          break;
+        }
+      }
+      if (!next.IsValid()) {
+        ++stats_.decisions;
+        next = PickBranchLit();
+        if (!next.IsValid()) return LBool::kTrue;  // all variables assigned
+      }
+      NewDecisionLevel();
+      UncheckedEnqueue(next, kNoClause);
+    }
+  }
+}
+
+SolveResult Solver::Solve(Deadline deadline, const std::atomic<bool>* stop) {
+  return SolveWithAssumptions({}, deadline, stop);
+}
+
+SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
+                                         Deadline deadline,
+                                         const std::atomic<bool>* stop) {
+  Stopwatch stopwatch;
+  model_.clear();
+  budget_exhausted_ = false;
+  conflict_under_assumptions_ = false;
+  assumptions_ = assumptions;
+  if (!ok_) return SolveResult::kUnsat;
+
+  max_learnts_ =
+      std::max(1000.0, static_cast<double>(clauses_.size()) *
+                           options_.learnt_size_factor);
+  LBool status = LBool::kUndef;
+  int restarts = 0;
+  while (status == LBool::kUndef && !budget_exhausted_) {
+    const double base =
+        options_.luby_restarts
+            ? Luby(2.0, restarts)
+            : std::pow(options_.restart_growth, restarts);
+    const auto budget = static_cast<std::int64_t>(
+        base * static_cast<double>(options_.restart_base));
+    status = Search(budget, deadline, stop);
+    ++restarts;
+    ++stats_.restarts;
+  }
+  stats_.solve_seconds += stopwatch.Seconds();
+
+  if (status == LBool::kTrue) {
+    model_.resize(static_cast<std::size_t>(num_vars()));
+    for (int v = 0; v < num_vars(); ++v) {
+      model_[static_cast<std::size_t>(v)] =
+          (Value(static_cast<Var>(v)) == LBool::kTrue);
+    }
+    Backtrack(0);
+    return SolveResult::kSat;
+  }
+  if (status == LBool::kFalse) {
+    // A conflict among the assumptions leaves the solver reusable; a
+    // top-level conflict refutes the formula outright.
+    if (!conflict_under_assumptions_) ok_ = false;
+    Backtrack(0);
+    return SolveResult::kUnsat;
+  }
+  Backtrack(0);
+  return SolveResult::kUnknown;
+}
+
+}  // namespace satfr::sat

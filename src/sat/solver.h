@@ -1,0 +1,272 @@
+// A conflict-driven clause-learning (CDCL) SAT solver.
+//
+// This is the substrate that stands in for the siege_v4 and MiniSat binaries
+// used in the paper (see DESIGN.md §3). The engine implements the standard
+// modern architecture: two-watched-literal propagation, first-UIP conflict
+// analysis with clause minimization, VSIDS variable activities with phase
+// saving, Luby or geometric restarts, activity/LBD-driven learnt-clause
+// deletion, and arena garbage collection.
+//
+// Two option presets mirror the paper's two solvers:
+//   SolverOptions::SiegeLike()   — tuned for refutation (UNSAT) throughput,
+//   SolverOptions::MiniSatLike() — the classic MiniSat 1.14-era defaults.
+//
+// Solving is cooperative: a Deadline and/or an std::atomic<bool> stop flag
+// (used by the portfolio runner) abort the search with SolveResult::kUnknown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "sat/cnf.h"
+#include "sat/types.h"
+
+namespace satfr::sat {
+
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+const char* ToString(SolveResult result);
+
+struct SolverOptions {
+  // VSIDS decay applied after every conflict.
+  double var_decay = 0.95;
+  // Learnt-clause activity decay.
+  double clause_decay = 0.999;
+  // Fraction of decisions taken uniformly at random (diversification).
+  double random_decision_freq = 0.0;
+  // Remember and reuse the last assigned polarity of each variable.
+  bool phase_saving = true;
+  // Polarity used before a variable has ever been assigned.
+  bool default_phase_positive = false;
+  // Restart schedule: Luby sequence scaled by restart_base, or geometric
+  // with ratio restart_growth starting at restart_base.
+  bool luby_restarts = true;
+  int restart_base = 100;
+  double restart_growth = 1.5;
+  // Learnt database: allowed size starts at learnt_size_factor * #clauses
+  // and grows by learnt_size_inc at every reduction.
+  double learnt_size_factor = 1.0 / 3.0;
+  double learnt_size_inc = 1.15;
+  // Seed for random decisions / polarities.
+  std::uint64_t seed = 91648253;
+
+  /// Preset approximating MiniSat's classic behaviour.
+  static SolverOptions MiniSatLike();
+  /// Preset tuned for UNSAT instances (slower decay, geometric restarts,
+  /// a pinch of randomness), approximating siege_v4's profile.
+  static SolverOptions SiegeLike();
+};
+
+struct SolverStats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t minimized_literals = 0;
+  std::uint64_t gc_runs = 0;
+  double solve_seconds = 0.0;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = SolverOptions());
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Allocates a fresh variable.
+  Var NewVar();
+
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause (simplified against the level-0 assignment). Returns
+  /// false if the formula became trivially unsatisfiable.
+  bool AddClause(Clause clause);
+
+  /// Adds every clause of `cnf`, allocating variables as needed.
+  /// Returns false if the formula became trivially unsatisfiable.
+  bool AddCnf(const Cnf& cnf);
+
+  /// Runs the CDCL search. `deadline` bounds wall-clock time; `stop`, when
+  /// non-null, aborts as soon as it becomes true (portfolio cancellation).
+  SolveResult Solve(Deadline deadline = Deadline(),
+                    const std::atomic<bool>* stop = nullptr);
+
+  /// Incremental interface: solves under the given assumption literals.
+  /// kUnsat means "unsatisfiable under these assumptions" — unless okay()
+  /// has also become false, the solver remains usable and can be re-queried
+  /// with different assumptions while keeping everything it has learned.
+  SolveResult SolveWithAssumptions(const std::vector<Lit>& assumptions,
+                                   Deadline deadline = Deadline(),
+                                   const std::atomic<bool>* stop = nullptr);
+
+  /// Model of the last kSat answer, indexed by variable.
+  const std::vector<bool>& model() const { return model_; }
+
+  /// Value of `l` in the last model.
+  bool ModelValue(Lit l) const {
+    return model_[static_cast<std::size_t>(l.var())] != l.negated();
+  }
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// False once the clause set has been proven unsatisfiable.
+  bool okay() const { return ok_; }
+
+  /// Attaches a DRUP-style proof log: every clause the solver derives
+  /// (learned clauses, strengthened input clauses, and the final empty
+  /// clause on UNSAT) is appended to `log` in derivation order, so that an
+  /// UNSAT answer can be re-verified with VerifyRupRefutation against the
+  /// original formula. Attach before adding clauses; pass nullptr to
+  /// detach. Logging is off by default (it retains every learned clause).
+  void SetProofLog(std::vector<Clause>* log) { proof_log_ = log; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause = 0xFFFFFFFFu;
+
+  // Arena clause layout (32-bit words):
+  //   word0: size << 3 | learnt(1) | deleted(2) | relocated(4)
+  //   [learnt only] word1: activity (float bits), word2: LBD
+  //   then `size` literal codes.
+  struct ClauseView {
+    std::uint32_t* header;
+
+    std::uint32_t size() const { return *header >> 3; }
+    bool learnt() const { return (*header & 1u) != 0; }
+    bool deleted() const { return (*header & 2u) != 0; }
+    void MarkDeleted() { *header |= 2u; }
+    bool relocated() const { return (*header & 4u) != 0; }
+    Lit* lits() const {
+      return reinterpret_cast<Lit*>(header + (learnt() ? 3 : 1));
+    }
+    Lit& operator[](std::uint32_t i) const { return lits()[i]; }
+    float Activity() const;
+    void SetActivity(float activity) const;
+    std::uint32_t& Lbd() const { return header[2]; }
+    std::uint32_t Words() const { return (learnt() ? 3u : 1u) + size(); }
+  };
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  // Max-heap over variable activities.
+  class VarOrder {
+   public:
+    explicit VarOrder(const std::vector<double>& activity)
+        : activity_(activity) {}
+    bool Empty() const { return heap_.empty(); }
+    bool Contains(Var v) const;
+    void Insert(Var v);
+    void Update(Var v);  // activity of v increased
+    Var RemoveMax();
+    void Grow(int num_vars);
+
+   private:
+    bool Before(Var a, Var b) const {
+      return activity_[static_cast<std::size_t>(a)] >
+             activity_[static_cast<std::size_t>(b)];
+    }
+    void SiftUp(std::size_t i);
+    void SiftDown(std::size_t i);
+    const std::vector<double>& activity_;
+    std::vector<Var> heap_;
+    std::vector<int> position_;  // var -> heap index or -1
+  };
+
+  ClauseView View(ClauseRef cref) {
+    return ClauseView{arena_.data() + cref};
+  }
+
+  LBool Value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  LBool Value(Lit l) const { return LitValue(l, Value(l.var())); }
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  int LevelOf(Var v) const { return level_[static_cast<std::size_t>(v)]; }
+
+  ClauseRef AllocClause(const Clause& lits, bool learnt);
+  void FreeClause(ClauseRef cref);
+  void AttachClause(ClauseRef cref);
+  void DetachClause(ClauseRef cref);
+  bool Locked(ClauseRef cref);
+  void RemoveClause(ClauseRef cref);
+
+  void UncheckedEnqueue(Lit p, ClauseRef from);
+  ClauseRef Propagate();
+  void Analyze(ClauseRef confl, Clause& out_learnt, int& out_btlevel,
+               std::uint32_t& out_lbd);
+  bool LitRedundant(Lit p, std::uint32_t abstract_levels);
+  std::uint32_t AbstractLevel(Var v) const {
+    return 1u << (static_cast<std::uint32_t>(LevelOf(v)) & 31u);
+  }
+  void Backtrack(int level);
+  Lit PickBranchLit();
+  void NewDecisionLevel() {
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+  }
+
+  void BumpVarActivity(Var v);
+  void DecayVarActivity() { var_inc_ /= options_.var_decay; }
+  void BumpClauseActivity(ClauseView c);
+  void DecayClauseActivity() { clause_inc_ /= options_.clause_decay; }
+
+  void ReduceDb();
+  void RemoveSatisfied(std::vector<ClauseRef>& list);
+  void SimplifyAtLevelZero();
+  void CollectGarbageIfNeeded();
+  std::uint32_t ComputeLbd(const Clause& lits);
+
+  // Returns kTrue (model found), kFalse (UNSAT), or kUndef (restart or
+  // budget exhausted; check budget_exhausted_).
+  LBool Search(std::int64_t conflict_budget, const Deadline& deadline,
+               const std::atomic<bool>* stop);
+
+  static double Luby(double y, int i);
+
+  SolverOptions options_;
+  SolverStats stats_;
+  Rng rng_;
+  bool ok_ = true;
+
+  std::vector<std::uint32_t> arena_;
+  std::uint64_t wasted_words_ = 0;
+  std::vector<ClauseRef> clauses_;
+  std::vector<ClauseRef> learnts_;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+  std::vector<LBool> assigns_;
+  std::vector<bool> saved_phase_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<double> activity_;
+  VarOrder order_;
+
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  double max_learnts_ = 0.0;
+  bool budget_exhausted_ = false;
+  std::int64_t simplify_trail_size_ = -1;
+  std::vector<Clause>* proof_log_ = nullptr;
+  std::vector<Lit> assumptions_;
+  bool conflict_under_assumptions_ = false;
+
+  // Scratch for Analyze.
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_toclear_;
+
+  std::vector<bool> model_;
+};
+
+}  // namespace satfr::sat

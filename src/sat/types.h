@@ -1,0 +1,96 @@
+// Core SAT types: variables, literals, clauses, three-valued logic.
+//
+// A Var is a 0-based index. A Lit packs a variable and a sign into one int
+// (MiniSat convention: code = 2*var + sign, sign 1 == negated), so literals
+// index arrays directly and negation is a single XOR.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satfr::sat {
+
+using Var = std::int32_t;
+
+constexpr Var kUndefVar = -1;
+
+class Lit {
+ public:
+  constexpr Lit() : code_(-2) {}
+
+  /// Builds a literal on `v`; `negated` selects the negative phase.
+  static constexpr Lit Make(Var v, bool negated) {
+    Lit l;
+    l.code_ = 2 * v + (negated ? 1 : 0);
+    return l;
+  }
+
+  /// Positive literal on v.
+  static constexpr Lit Pos(Var v) { return Make(v, false); }
+  /// Negative literal on v.
+  static constexpr Lit Neg(Var v) { return Make(v, true); }
+
+  constexpr Var var() const { return code_ >> 1; }
+  constexpr bool negated() const { return (code_ & 1) != 0; }
+  constexpr int code() const { return code_; }
+  constexpr bool IsValid() const { return code_ >= 0; }
+
+  constexpr Lit operator~() const {
+    Lit l;
+    l.code_ = code_ ^ 1;
+    return l;
+  }
+
+  friend constexpr bool operator==(Lit a, Lit b) {
+    return a.code_ == b.code_;
+  }
+  friend constexpr bool operator!=(Lit a, Lit b) {
+    return a.code_ != b.code_;
+  }
+  friend constexpr bool operator<(Lit a, Lit b) { return a.code_ < b.code_; }
+
+  /// DIMACS integer: +/-(var+1).
+  constexpr int ToDimacs() const {
+    return negated() ? -(var() + 1) : (var() + 1);
+  }
+
+  /// Parses a DIMACS integer (must be non-zero).
+  static constexpr Lit FromDimacs(int dimacs) {
+    return Make(dimacs > 0 ? dimacs - 1 : -dimacs - 1, dimacs < 0);
+  }
+
+  std::string ToString() const {
+    return (negated() ? "~x" : "x") + std::to_string(var());
+  }
+
+ private:
+  int code_;
+};
+
+constexpr Lit kUndefLit;
+
+using Clause = std::vector<Lit>;
+
+/// Three-valued assignment state.
+enum class LBool : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+/// Negation that keeps kUndef fixed.
+constexpr LBool Negate(LBool b) {
+  switch (b) {
+    case LBool::kTrue:
+      return LBool::kFalse;
+    case LBool::kFalse:
+      return LBool::kTrue;
+    default:
+      return LBool::kUndef;
+  }
+}
+
+/// Value of a literal under a variable assignment.
+constexpr LBool LitValue(Lit l, LBool var_value) {
+  return l.negated() ? Negate(var_value) : var_value;
+}
+
+}  // namespace satfr::sat

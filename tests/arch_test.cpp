@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "fpga/arch.h"
+
+namespace satfr::fpga {
+namespace {
+
+TEST(ArchTest, CountsForSmallGrid) {
+  const Arch arch(4);
+  EXPECT_EQ(arch.grid_size(), 4);
+  EXPECT_EQ(arch.nodes_per_side(), 5);
+  EXPECT_EQ(arch.num_nodes(), 25);
+  EXPECT_EQ(arch.num_horizontal_segments(), 20);
+  EXPECT_EQ(arch.num_vertical_segments(), 20);
+  EXPECT_EQ(arch.num_segments(), 40);
+}
+
+TEST(ArchTest, NodeIdRoundTrip) {
+  const Arch arch(6);
+  for (int y = 0; y <= 6; ++y) {
+    for (int x = 0; x <= 6; ++x) {
+      const NodeId node = arch.NodeAt(x, y);
+      const Coord c = arch.NodeCoord(node);
+      EXPECT_EQ(c.x, x);
+      EXPECT_EQ(c.y, y);
+    }
+  }
+}
+
+TEST(ArchTest, NodeIdsAreDense) {
+  const Arch arch(3);
+  std::vector<bool> seen(static_cast<std::size_t>(arch.num_nodes()), false);
+  for (int y = 0; y <= 3; ++y) {
+    for (int x = 0; x <= 3; ++x) {
+      const NodeId node = arch.NodeAt(x, y);
+      ASSERT_GE(node, 0);
+      ASSERT_LT(node, arch.num_nodes());
+      EXPECT_FALSE(seen[static_cast<std::size_t>(node)]);
+      seen[static_cast<std::size_t>(node)] = true;
+    }
+  }
+}
+
+TEST(ArchTest, SegmentIdsAreDenseAndRoundTrip) {
+  const Arch arch(5);
+  std::vector<bool> seen(static_cast<std::size_t>(arch.num_segments()),
+                         false);
+  for (SegmentIndex s = 0; s < arch.num_segments(); ++s) {
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    arch.SegmentEndpoints(s, &a, &b);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(arch.SegmentBetween(a, b), s);
+    EXPECT_EQ(arch.SegmentBetween(b, a), s);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(s)]);
+    seen[static_cast<std::size_t>(s)] = true;
+  }
+}
+
+TEST(ArchTest, SegmentBetweenNonAdjacentIsInvalid) {
+  const Arch arch(4);
+  EXPECT_EQ(arch.SegmentBetween(arch.NodeAt(0, 0), arch.NodeAt(2, 0)),
+            kInvalidSegment);
+  EXPECT_EQ(arch.SegmentBetween(arch.NodeAt(0, 0), arch.NodeAt(1, 1)),
+            kInvalidSegment);
+  EXPECT_EQ(arch.SegmentBetween(arch.NodeAt(0, 0), arch.NodeAt(0, 0)),
+            kInvalidSegment);
+}
+
+TEST(ArchTest, HorizontalVerticalClassification) {
+  const Arch arch(4);
+  EXPECT_TRUE(arch.IsHorizontal(arch.HorizontalSegment(0, 0)));
+  EXPECT_FALSE(arch.IsHorizontal(arch.VerticalSegment(0, 0)));
+}
+
+TEST(ArchTest, SegmentNames) {
+  const Arch arch(4);
+  EXPECT_EQ(arch.SegmentName(arch.HorizontalSegment(3, 2)), "H(3,2)");
+  EXPECT_EQ(arch.SegmentName(arch.VerticalSegment(0, 1)), "V(0,1)");
+}
+
+TEST(ArchTest, BlockAccessNodeMatchesBlockCoord) {
+  const Arch arch(4);
+  EXPECT_EQ(arch.BlockAccessNode(2, 3), arch.NodeAt(2, 3));
+}
+
+TEST(ArchTest, MinimalGrid) {
+  const Arch arch(1);
+  EXPECT_EQ(arch.num_nodes(), 4);
+  EXPECT_EQ(arch.num_segments(), 4);
+}
+
+}  // namespace
+}  // namespace satfr::fpga

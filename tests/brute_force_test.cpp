@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "sat/brute_force.h"
+#include "test_util.h"
+
+namespace satfr::sat {
+namespace {
+
+TEST(BruteForceTest, TrivialSat) {
+  Cnf cnf(1);
+  cnf.AddUnit(Lit::Pos(0));
+  const auto model = SolveByEnumeration(cnf);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE((*model)[0]);
+  EXPECT_TRUE(SolveByDpll(cnf).has_value());
+}
+
+TEST(BruteForceTest, TrivialUnsat) {
+  Cnf cnf(1);
+  cnf.AddUnit(Lit::Pos(0));
+  cnf.AddUnit(Lit::Neg(0));
+  EXPECT_FALSE(SolveByEnumeration(cnf).has_value());
+  EXPECT_FALSE(SolveByDpll(cnf).has_value());
+}
+
+TEST(BruteForceTest, EmptyFormulaIsSat) {
+  Cnf cnf(3);
+  EXPECT_TRUE(SolveByEnumeration(cnf).has_value());
+  EXPECT_TRUE(SolveByDpll(cnf).has_value());
+}
+
+TEST(BruteForceTest, EmptyClauseIsUnsat) {
+  Cnf cnf(2);
+  cnf.AddClause({});
+  EXPECT_FALSE(SolveByEnumeration(cnf).has_value());
+  EXPECT_FALSE(SolveByDpll(cnf).has_value());
+}
+
+TEST(BruteForceTest, ModelsActuallySatisfy) {
+  Rng rng(101);
+  for (int i = 0; i < 50; ++i) {
+    const Cnf cnf = testutil::RandomCnf(rng, 8, 16);
+    const auto by_enum = SolveByEnumeration(cnf);
+    if (by_enum) EXPECT_TRUE(cnf.IsSatisfiedBy(*by_enum));
+    const auto by_dpll = SolveByDpll(cnf);
+    if (by_dpll) EXPECT_TRUE(cnf.IsSatisfiedBy(*by_dpll));
+  }
+}
+
+TEST(BruteForceTest, EnumerationAndDpllAgree) {
+  Rng rng(202);
+  int sat_count = 0;
+  int unsat_count = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Cnf cnf = testutil::RandomCnf(rng, 9, 25);
+    const bool enum_sat = SolveByEnumeration(cnf).has_value();
+    const bool dpll_sat = SolveByDpll(cnf).has_value();
+    EXPECT_EQ(enum_sat, dpll_sat) << "iteration " << i;
+    enum_sat ? ++sat_count : ++unsat_count;
+  }
+  // The generator must produce both outcomes or the test proves nothing.
+  EXPECT_GT(sat_count, 0);
+  EXPECT_GT(unsat_count, 0);
+}
+
+TEST(BruteForceTest, DpllHandlesPigeonhole) {
+  const Cnf cnf = testutil::PigeonholeCnf(4);
+  EXPECT_FALSE(SolveByDpll(cnf).has_value());
+}
+
+}  // namespace
+}  // namespace satfr::sat

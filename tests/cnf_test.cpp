@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "sat/cnf.h"
+
+namespace satfr::sat {
+namespace {
+
+TEST(CnfTest, NewVarsAllocateSequentially) {
+  Cnf cnf;
+  EXPECT_EQ(cnf.num_vars(), 0);
+  EXPECT_EQ(cnf.NewVar(), 0);
+  EXPECT_EQ(cnf.NewVar(), 1);
+  EXPECT_EQ(cnf.NewVars(3), 2);
+  EXPECT_EQ(cnf.num_vars(), 5);
+}
+
+TEST(CnfTest, EnsureVarsOnlyGrows) {
+  Cnf cnf(4);
+  cnf.EnsureVars(2);
+  EXPECT_EQ(cnf.num_vars(), 4);
+  cnf.EnsureVars(9);
+  EXPECT_EQ(cnf.num_vars(), 9);
+}
+
+TEST(CnfTest, AddClauseAndCounts) {
+  Cnf cnf(3);
+  cnf.AddBinary(Lit::Pos(0), Lit::Neg(1));
+  cnf.AddUnit(Lit::Pos(2));
+  cnf.AddTernary(Lit::Pos(0), Lit::Pos(1), Lit::Pos(2));
+  EXPECT_EQ(cnf.num_clauses(), 3u);
+  EXPECT_EQ(cnf.num_literals(), 6u);
+}
+
+TEST(CnfTest, IsSatisfiedBy) {
+  Cnf cnf(2);
+  cnf.AddBinary(Lit::Pos(0), Lit::Pos(1));   // x0 | x1
+  cnf.AddBinary(Lit::Neg(0), Lit::Neg(1));   // ~x0 | ~x1
+  EXPECT_TRUE(cnf.IsSatisfiedBy({true, false}));
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, true}));
+  EXPECT_FALSE(cnf.IsSatisfiedBy({true, true}));
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false, false}));
+}
+
+TEST(CnfTest, EmptyClauseNeverSatisfied) {
+  Cnf cnf(1);
+  cnf.AddClause({});
+  EXPECT_FALSE(cnf.IsSatisfiedBy({true}));
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false}));
+}
+
+TEST(CnfTest, NoClausesAlwaysSatisfied) {
+  Cnf cnf(2);
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, false}));
+}
+
+TEST(CnfTest, NormalizeRemovesTautologiesAndDuplicates) {
+  Cnf cnf(2);
+  cnf.AddBinary(Lit::Pos(0), Lit::Neg(0));  // tautology
+  cnf.AddBinary(Lit::Pos(0), Lit::Pos(1));
+  cnf.AddBinary(Lit::Pos(1), Lit::Pos(0));  // duplicate after sort
+  cnf.AddClause({Lit::Pos(0), Lit::Pos(0), Lit::Pos(1)});  // dup literal
+  const std::size_t removed = cnf.NormalizeClauses();
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses()[0].size(), 2u);
+}
+
+TEST(CnfTest, AppendShiftsVariables) {
+  Cnf a(2);
+  a.AddBinary(Lit::Pos(0), Lit::Neg(1));
+  Cnf b(2);
+  b.AddUnit(Lit::Pos(1));
+  a.Append(b, 2);
+  EXPECT_EQ(a.num_vars(), 4);
+  ASSERT_EQ(a.num_clauses(), 2u);
+  EXPECT_EQ(a.clauses()[1][0], Lit::Pos(3));
+}
+
+TEST(CnfTest, ToStringHasHeaderAndClauses) {
+  Cnf cnf(2);
+  cnf.AddBinary(Lit::Pos(0), Lit::Neg(1));
+  const std::string text = cnf.ToString();
+  EXPECT_NE(text.find("p cnf 2 1"), std::string::npos);
+  EXPECT_NE(text.find("x0 ~x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satfr::sat

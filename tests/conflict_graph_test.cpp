@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "flow/conflict_graph.h"
+
+namespace satfr::flow {
+namespace {
+
+using fpga::Arch;
+
+route::GlobalRouting MakeRouting(
+    std::vector<route::TwoPinNet> nets,
+    std::vector<std::vector<fpga::SegmentIndex>> routes) {
+  route::GlobalRouting routing;
+  routing.two_pin_nets = std::move(nets);
+  routing.routes = std::move(routes);
+  return routing;
+}
+
+TEST(ConflictGraphTest, SharedSegmentDifferentParentsConflict) {
+  const Arch arch(3);
+  const auto seg = arch.HorizontalSegment(0, 0);
+  const auto routing = MakeRouting({{0, 0, 1}, {1, 2, 3}}, {{seg}, {seg}});
+  const graph::Graph g = BuildConflictGraph(arch, routing);
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(ConflictGraphTest, SameParentNeverConflicts) {
+  const Arch arch(3);
+  const auto seg = arch.HorizontalSegment(1, 1);
+  const auto routing = MakeRouting({{7, 0, 1}, {7, 0, 2}}, {{seg}, {seg}});
+  const graph::Graph g = BuildConflictGraph(arch, routing);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ConflictGraphTest, DisjointRoutesNoConflict) {
+  const Arch arch(3);
+  const auto routing =
+      MakeRouting({{0, 0, 1}, {1, 2, 3}},
+                  {{arch.HorizontalSegment(0, 0)},
+                   {arch.HorizontalSegment(0, 1)}});
+  const graph::Graph g = BuildConflictGraph(arch, routing);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ConflictGraphTest, MultipleSharedSegmentsSingleEdge) {
+  // §2: exclusivity is imposed once per pair even when routes share many
+  // connection blocks.
+  const Arch arch(4);
+  const std::vector<fpga::SegmentIndex> shared = {
+      arch.HorizontalSegment(0, 0), arch.HorizontalSegment(1, 0),
+      arch.HorizontalSegment(2, 0)};
+  const auto routing = MakeRouting({{0, 0, 1}, {1, 2, 3}}, {shared, shared});
+  const graph::Graph g = BuildConflictGraph(arch, routing);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(ConflictGraphTest, ThreeWaySharingMakesTriangle) {
+  const Arch arch(3);
+  const auto seg = arch.VerticalSegment(1, 1);
+  const auto routing = MakeRouting({{0, 0, 1}, {1, 2, 3}, {2, 4, 5}},
+                                   {{seg}, {seg}, {seg}});
+  const graph::Graph g = BuildConflictGraph(arch, routing);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(ConflictGraphTest, EmptyRouting) {
+  const Arch arch(2);
+  const graph::Graph g = BuildConflictGraph(arch, route::GlobalRouting{});
+  EXPECT_EQ(g.num_vertices(), 0);
+}
+
+}  // namespace
+}  // namespace satfr::flow

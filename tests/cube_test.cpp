@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "encode/cube.h"
+
+namespace satfr::encode {
+namespace {
+
+using sat::Clause;
+using sat::Lit;
+
+TEST(CubeTest, NegateCubeBasics) {
+  const Cube cube{Lit::Pos(0), Lit::Neg(1)};
+  EXPECT_EQ(NegateCube(cube, 0), (Clause{Lit::Neg(0), Lit::Pos(1)}));
+  EXPECT_EQ(NegateCube(cube, 10), (Clause{Lit::Neg(10), Lit::Pos(11)}));
+  EXPECT_TRUE(NegateCube({}, 5).empty());
+}
+
+TEST(CubeTest, ConflictClauseConcatenatesNegations) {
+  const Cube a{Lit::Pos(0)};
+  const Cube b{Lit::Neg(0), Lit::Pos(1)};
+  const Clause clause = ConflictClause(a, 0, b, 4);
+  EXPECT_EQ(clause, (Clause{Lit::Neg(0), Lit::Pos(4), Lit::Neg(5)}));
+}
+
+TEST(CubeTest, CubeSatisfiedHonorsOffsetAndSign) {
+  const Cube cube{Lit::Pos(0), Lit::Neg(1)};
+  // Model over 4 vars; cube at offset 2 reads vars 2 and 3.
+  EXPECT_TRUE(CubeSatisfied(cube, 2, {false, false, true, false}));
+  EXPECT_FALSE(CubeSatisfied(cube, 2, {false, false, true, true}));
+  EXPECT_FALSE(CubeSatisfied(cube, 2, {false, false, false, false}));
+  EXPECT_TRUE(CubeSatisfied({}, 0, {}));  // empty cube always true
+}
+
+TEST(CubeTest, ConcatCubesShiftsSecondOperand) {
+  const Cube a{Lit::Pos(0)};
+  const Cube b{Lit::Neg(0), Lit::Pos(2)};
+  const Cube combined = ConcatCubes(a, b, 3);
+  EXPECT_EQ(combined, (Cube{Lit::Pos(0), Lit::Neg(3), Lit::Pos(5)}));
+}
+
+TEST(CubeTest, ShiftClause) {
+  const Clause clause{Lit::Pos(1), Lit::Neg(2)};
+  EXPECT_EQ(ShiftClause(clause, 7), (Clause{Lit::Pos(8), Lit::Neg(9)}));
+  EXPECT_EQ(ShiftClause(clause, 0), clause);
+}
+
+}  // namespace
+}  // namespace satfr::encode

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "fpga/device_graph.h"
+
+namespace satfr::fpga {
+namespace {
+
+TEST(DeviceGraphTest, HopDegrees) {
+  const Arch arch(4);
+  const DeviceGraph device(arch);
+  // Corners have 2 hops, edges 3, interior 4.
+  EXPECT_EQ(device.Hops(arch.NodeAt(0, 0)).size(), 2u);
+  EXPECT_EQ(device.Hops(arch.NodeAt(4, 4)).size(), 2u);
+  EXPECT_EQ(device.Hops(arch.NodeAt(2, 0)).size(), 3u);
+  EXPECT_EQ(device.Hops(arch.NodeAt(2, 2)).size(), 4u);
+}
+
+TEST(DeviceGraphTest, HopsCarryCorrectSegments) {
+  const Arch arch(3);
+  const DeviceGraph device(arch);
+  for (NodeId node = 0; node < arch.num_nodes(); ++node) {
+    for (const auto& hop : device.Hops(node)) {
+      EXPECT_EQ(hop.via, arch.SegmentBetween(node, hop.to));
+      EXPECT_NE(hop.via, kInvalidSegment);
+    }
+  }
+}
+
+TEST(DeviceGraphTest, TotalHopEntriesTwicePerSegment) {
+  const Arch arch(5);
+  const DeviceGraph device(arch);
+  std::size_t total = 0;
+  for (NodeId node = 0; node < arch.num_nodes(); ++node) {
+    total += device.Hops(node).size();
+  }
+  EXPECT_EQ(total, 2u * static_cast<std::size_t>(arch.num_segments()));
+}
+
+TEST(DeviceGraphTest, ManhattanDistance) {
+  const Arch arch(5);
+  const DeviceGraph device(arch);
+  EXPECT_EQ(device.ManhattanDistance(arch.NodeAt(0, 0), arch.NodeAt(3, 4)),
+            7);
+  EXPECT_EQ(device.ManhattanDistance(arch.NodeAt(2, 2), arch.NodeAt(2, 2)),
+            0);
+  EXPECT_EQ(device.ManhattanDistance(arch.NodeAt(4, 1), arch.NodeAt(1, 1)),
+            3);
+}
+
+}  // namespace
+}  // namespace satfr::fpga

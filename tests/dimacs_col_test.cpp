@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "graph/dimacs_col.h"
+#include "test_util.h"
+
+namespace satfr::graph {
+namespace {
+
+TEST(DimacsColTest, WriteCanonicalForm) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  std::ostringstream out;
+  WriteDimacsCol(g, out, {"conflict graph"});
+  EXPECT_EQ(out.str(),
+            "c conflict graph\n"
+            "p edge 3 2\n"
+            "e 1 2\n"
+            "e 2 3\n");
+}
+
+TEST(DimacsColTest, ParseBasic) {
+  const auto g = ParseDimacsColString(
+      "c a comment\n"
+      "p edge 4 2\n"
+      "e 1 2\n"
+      "e 3 4\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_vertices(), 4);
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(2, 3));
+}
+
+TEST(DimacsColTest, ParseMergesDuplicateEdges) {
+  const auto g = ParseDimacsColString("p edge 2 2\ne 1 2\ne 2 1\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(DimacsColTest, ParseAcceptsEdgesKeyword) {
+  EXPECT_TRUE(ParseDimacsColString("p edges 2 1\ne 1 2\n").has_value());
+}
+
+TEST(DimacsColTest, ParseRejectsMissingHeader) {
+  EXPECT_FALSE(ParseDimacsColString("e 1 2\n").has_value());
+}
+
+TEST(DimacsColTest, ParseRejectsVertexOutOfRange) {
+  EXPECT_FALSE(ParseDimacsColString("p edge 2 1\ne 1 3\n").has_value());
+  EXPECT_FALSE(ParseDimacsColString("p edge 2 1\ne 0 1\n").has_value());
+}
+
+TEST(DimacsColTest, ParseRejectsGarbageLines) {
+  EXPECT_FALSE(ParseDimacsColString("p edge 2 1\nx 1 2\n").has_value());
+}
+
+TEST(DimacsColTest, RandomRoundTrip) {
+  Rng rng(555);
+  for (int i = 0; i < 20; ++i) {
+    const Graph g = testutil::RandomGraph(rng, 12, 0.3);
+    std::ostringstream out;
+    WriteDimacsCol(g, out);
+    const auto parsed = ParseDimacsColString(out.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->num_vertices(), g.num_vertices());
+    EXPECT_EQ(parsed->num_edges(), g.num_edges());
+    EXPECT_EQ(parsed->Edges(), g.Edges());
+  }
+}
+
+TEST(DimacsColTest, FileRoundTrip) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  const std::string path = testing::TempDir() + "/satfr_col_test.col";
+  ASSERT_TRUE(WriteDimacsColFile(g, path));
+  const auto parsed = ParseDimacsColFile(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace satfr::graph

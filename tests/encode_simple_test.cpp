@@ -1,0 +1,163 @@
+// Pins the log / direct / muldirect encodings to Table 1 of the paper:
+// the exact clause sets for two adjacent CSP variables with domain {0,1,2}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "encode/csp_to_cnf.h"
+#include "encode/registry.h"
+#include "encode/simple_encoders.h"
+
+namespace satfr::encode {
+namespace {
+
+using sat::Clause;
+using sat::Lit;
+
+// Canonical form for order-insensitive clause-set comparison.
+std::set<Clause> ClauseSet(const std::vector<Clause>& clauses) {
+  std::set<Clause> out;
+  for (Clause c : clauses) {
+    std::sort(c.begin(), c.end());
+    out.insert(std::move(c));
+  }
+  return out;
+}
+
+graph::Graph TwoAdjacentVertices() {
+  graph::Graph g(2);
+  g.AddEdge(0, 1);
+  return g;
+}
+
+// Table 1, column "log": variables l_v1 l_v2 (our x0 x1) and l_w1 l_w2
+// (our x2 x3).
+TEST(Table1Test, LogEncodingClauses) {
+  const EncodedColoring enc =
+      EncodeColoring(TwoAdjacentVertices(), 3, GetEncoding("log"));
+  EXPECT_EQ(enc.cnf.num_vars(), 4);
+  const std::set<Clause> expected = ClauseSet({
+      // conflict clauses (one per shared value)
+      {Lit::Pos(0), Lit::Pos(1), Lit::Pos(2), Lit::Pos(3)},
+      {Lit::Neg(0), Lit::Pos(1), Lit::Neg(2), Lit::Pos(3)},
+      {Lit::Pos(0), Lit::Neg(1), Lit::Pos(2), Lit::Neg(3)},
+      // excluded-illegal-values (pattern 11 per variable)
+      {Lit::Neg(0), Lit::Neg(1)},
+      {Lit::Neg(2), Lit::Neg(3)},
+  });
+  EXPECT_EQ(ClauseSet(enc.cnf.clauses()), expected);
+  EXPECT_EQ(enc.stats.conflict_clauses, 3u);
+  EXPECT_EQ(enc.stats.structural_clauses, 2u);
+}
+
+// Table 1, column "direct": x_v0..x_v2 (our x0..x2), x_w0..x_w2 (x3..x5).
+TEST(Table1Test, DirectEncodingClauses) {
+  const EncodedColoring enc =
+      EncodeColoring(TwoAdjacentVertices(), 3, GetEncoding("direct"));
+  EXPECT_EQ(enc.cnf.num_vars(), 6);
+  const std::set<Clause> expected = ClauseSet({
+      // at-least-one
+      {Lit::Pos(0), Lit::Pos(1), Lit::Pos(2)},
+      {Lit::Pos(3), Lit::Pos(4), Lit::Pos(5)},
+      // at-most-one (pairwise)
+      {Lit::Neg(0), Lit::Neg(1)},
+      {Lit::Neg(0), Lit::Neg(2)},
+      {Lit::Neg(1), Lit::Neg(2)},
+      {Lit::Neg(3), Lit::Neg(4)},
+      {Lit::Neg(3), Lit::Neg(5)},
+      {Lit::Neg(4), Lit::Neg(5)},
+      // conflict
+      {Lit::Neg(0), Lit::Neg(3)},
+      {Lit::Neg(1), Lit::Neg(4)},
+      {Lit::Neg(2), Lit::Neg(5)},
+  });
+  EXPECT_EQ(ClauseSet(enc.cnf.clauses()), expected);
+}
+
+// Table 1, column "muldirect": direct minus the at-most-one clauses.
+TEST(Table1Test, MuldirectEncodingClauses) {
+  const EncodedColoring enc =
+      EncodeColoring(TwoAdjacentVertices(), 3, GetEncoding("muldirect"));
+  EXPECT_EQ(enc.cnf.num_vars(), 6);
+  const std::set<Clause> expected = ClauseSet({
+      {Lit::Pos(0), Lit::Pos(1), Lit::Pos(2)},
+      {Lit::Pos(3), Lit::Pos(4), Lit::Pos(5)},
+      {Lit::Neg(0), Lit::Neg(3)},
+      {Lit::Neg(1), Lit::Neg(4)},
+      {Lit::Neg(2), Lit::Neg(5)},
+  });
+  EXPECT_EQ(ClauseSet(enc.cnf.clauses()), expected);
+}
+
+// ------------------------------------------------ LevelEncoder specifics
+
+TEST(LogEncoderTest, VarCountIsCeilLog2) {
+  const LogEncoder enc;
+  EXPECT_EQ(enc.Encode(1).num_vars, 0);
+  EXPECT_EQ(enc.Encode(2).num_vars, 1);
+  EXPECT_EQ(enc.Encode(3).num_vars, 2);
+  EXPECT_EQ(enc.Encode(4).num_vars, 2);
+  EXPECT_EQ(enc.Encode(5).num_vars, 3);
+  EXPECT_EQ(enc.Encode(8).num_vars, 3);
+  EXPECT_EQ(enc.Encode(9).num_vars, 4);
+}
+
+TEST(LogEncoderTest, IllegalPatternCount) {
+  const LogEncoder enc;
+  EXPECT_EQ(enc.Encode(4).structural.size(), 0u);  // power of two: none
+  EXPECT_EQ(enc.Encode(5).structural.size(), 3u);  // patterns 5,6,7
+  EXPECT_EQ(enc.Encode(13).structural.size(), 3u);
+}
+
+TEST(LogEncoderTest, CubesAreFullPatterns) {
+  const LevelEncoding enc = LogEncoder().Encode(5);
+  for (const Cube& cube : enc.cubes) {
+    EXPECT_EQ(cube.size(), 3u);  // every cube mentions all bits
+  }
+  EXPECT_TRUE(enc.exactly_one);
+}
+
+TEST(DirectEncoderTest, ClauseCounts) {
+  const LevelEncoding enc = DirectEncoder().Encode(5);
+  EXPECT_EQ(enc.num_vars, 5);
+  // 1 ALO + C(5,2)=10 AMO.
+  EXPECT_EQ(enc.structural.size(), 11u);
+  EXPECT_TRUE(enc.exactly_one);
+}
+
+TEST(MuldirectEncoderTest, OnlyAlo) {
+  const LevelEncoding enc = MuldirectEncoder().Encode(5);
+  EXPECT_EQ(enc.num_vars, 5);
+  EXPECT_EQ(enc.structural.size(), 1u);
+  EXPECT_FALSE(enc.exactly_one);
+}
+
+TEST(LevelEncoderTest, CountForVarBudget) {
+  EXPECT_EQ(LogEncoder().CountForVarBudget(2), 4);
+  EXPECT_EQ(DirectEncoder().CountForVarBudget(3), 3);
+  EXPECT_EQ(MuldirectEncoder().CountForVarBudget(3), 3);
+}
+
+TEST(LevelEncoderTest, DefaultReducedCubesArePrefix) {
+  const MuldirectEncoder enc;
+  const auto reduced = enc.ReducedCubes(5, 3);
+  ASSERT_EQ(reduced.size(), 3u);
+  EXPECT_EQ(reduced[0], Cube{Lit::Pos(0)});
+  EXPECT_EQ(reduced[2], Cube{Lit::Pos(2)});
+  EXPECT_TRUE(enc.ReducedNeedsRestriction());
+}
+
+TEST(LevelEncoderTest, FactoryCoversAllKinds) {
+  for (const LevelKind kind :
+       {LevelKind::kLog, LevelKind::kDirect, LevelKind::kMuldirect,
+        LevelKind::kIteLinear, LevelKind::kIteLog}) {
+    const auto encoder = MakeLevelEncoder(kind);
+    ASSERT_NE(encoder, nullptr);
+    EXPECT_EQ(encoder->kind(), kind);
+    EXPECT_EQ(encoder->Name(), ToString(kind));
+  }
+}
+
+}  // namespace
+}  // namespace satfr::encode

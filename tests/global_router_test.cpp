@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "netlist/mcnc_suite.h"
+#include "route/global_router.h"
+
+namespace satfr::route {
+namespace {
+
+using fpga::Arch;
+using fpga::DeviceGraph;
+
+TEST(GlobalRouterTest, RoutesValidateOnAllSmallBenchmarks) {
+  for (const std::string& name : {"tiny", "9symml", "term1"}) {
+    const netlist::McncBenchmark bench =
+        netlist::GenerateMcncBenchmark(name);
+    const Arch arch(bench.params.grid_size);
+    const DeviceGraph device(arch);
+    const GlobalRouting routing =
+        RouteGlobally(device, bench.netlist, bench.placement);
+    std::string error;
+    EXPECT_TRUE(
+        ValidateGlobalRouting(arch, bench.placement, routing, &error))
+        << name << ": " << error;
+    EXPECT_EQ(routing.NumTwoPinNets(),
+              static_cast<std::size_t>(bench.netlist.NumTwoPinConnections()))
+        << name;
+  }
+}
+
+TEST(GlobalRouterTest, NegotiationDoesNotWorsenShortestPathPeak) {
+  const netlist::McncBenchmark bench = netlist::GenerateMcncBenchmark("term1");
+  const Arch arch(bench.params.grid_size);
+  const DeviceGraph device(arch);
+
+  // Baseline: pure shortest paths (negotiation disabled via 0 rounds).
+  GlobalRouterOptions no_negotiation;
+  no_negotiation.negotiation_rounds = 0;
+  const GlobalRouting baseline =
+      RouteGlobally(device, bench.netlist, bench.placement, no_negotiation);
+
+  const GlobalRouting negotiated =
+      RouteGlobally(device, bench.netlist, bench.placement);
+  EXPECT_LE(PeakCongestion(arch, negotiated),
+            PeakCongestion(arch, baseline));
+}
+
+TEST(GlobalRouterTest, Deterministic) {
+  const netlist::McncBenchmark bench = netlist::GenerateMcncBenchmark("9symml");
+  const Arch arch(bench.params.grid_size);
+  const DeviceGraph device(arch);
+  const GlobalRouting a = RouteGlobally(device, bench.netlist, bench.placement);
+  const GlobalRouting b = RouteGlobally(device, bench.netlist, bench.placement);
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i], b.routes[i]) << "route " << i;
+  }
+}
+
+TEST(GlobalRouterTest, PeakCongestionIsPositive) {
+  const netlist::McncBenchmark bench = netlist::GenerateMcncBenchmark("tiny");
+  const Arch arch(bench.params.grid_size);
+  const DeviceGraph device(arch);
+  const GlobalRouting routing =
+      RouteGlobally(device, bench.netlist, bench.placement);
+  EXPECT_GE(PeakCongestion(arch, routing), 1);
+}
+
+}  // namespace
+}  // namespace satfr::route

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "graph/coloring_bounds.h"
+#include "route/greedy_track_assigner.h"
+#include "test_util.h"
+
+namespace satfr::route {
+namespace {
+
+graph::Graph Complete(int n) {
+  graph::Graph g(n);
+  for (graph::VertexId u = 0; u < n; ++u) {
+    for (graph::VertexId v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+TEST(GreedyTrackTest, EdgelessGraphOneTrack) {
+  const graph::Graph g(5);
+  const GreedyAssignResult result = GreedyAssignTracks(g, 1);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.tracks, (std::vector<int>{0, 0, 0, 0, 0}));
+}
+
+TEST(GreedyTrackTest, CompleteGraphNeedsNTracks) {
+  const graph::Graph g = Complete(5);
+  EXPECT_FALSE(GreedyAssignTracks(g, 4).success);
+  const GreedyAssignResult result = GreedyAssignTracks(g, 5);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(g.IsProperColoring(result.tracks));
+}
+
+TEST(GreedyTrackTest, SuccessImpliesProperColoring) {
+  Rng rng(77001);
+  for (int i = 0; i < 30; ++i) {
+    const graph::Graph g = testutil::RandomGraph(rng, 25, 0.3);
+    const int width =
+        graph::NumColorsUsed(graph::DsaturColoring(g)) + 1;
+    const GreedyAssignResult result = GreedyAssignTracks(g, width);
+    if (result.success) {
+      EXPECT_TRUE(g.IsProperColoring(result.tracks));
+      EXPECT_EQ(result.unassigned, 0);
+    }
+  }
+}
+
+TEST(GreedyTrackTest, FailureReportsUnassignedCount) {
+  const graph::Graph g = Complete(6);
+  const GreedyAssignResult result = GreedyAssignTracks(g, 3);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.unassigned, 3);  // 3 of 6 clique members fit in 3 tracks
+}
+
+TEST(GreedyTrackTest, RipupsCanOnlyHelp) {
+  Rng rng(77002);
+  for (int i = 0; i < 20; ++i) {
+    const graph::Graph g = testutil::RandomGraph(rng, 20, 0.4);
+    const int chi = graph::ChromaticNumberExact(g);
+    GreedyAssignOptions no_ripup;
+    GreedyAssignOptions with_ripup;
+    with_ripup.max_ripups = 50;
+    const int width_plain = GreedyMinimumWidth(g, chi, no_ripup);
+    const int width_ripup = GreedyMinimumWidth(g, chi, with_ripup);
+    ASSERT_GT(width_plain, 0);
+    ASSERT_GT(width_ripup, 0);
+    EXPECT_LE(width_ripup, width_plain);
+  }
+}
+
+TEST(GreedyTrackTest, GreedyWidthIsUpperBoundOnChromatic) {
+  // The SAT router's W* equals the chromatic number; greedy can only match
+  // or exceed it. This is the paper's qualitative claim about
+  // one-net-at-a-time routers.
+  Rng rng(77003);
+  int strictly_worse = 0;
+  for (int i = 0; i < 25; ++i) {
+    const graph::Graph g = testutil::RandomGraph(rng, 18, 0.45);
+    const int chi = graph::ChromaticNumberExact(g);
+    const int greedy = GreedyMinimumWidth(g, 1);
+    ASSERT_GT(greedy, 0);
+    EXPECT_GE(greedy, chi);
+    if (greedy > chi) ++strictly_worse;
+  }
+  // On dense-ish random graphs greedy should lose at least occasionally —
+  // otherwise this baseline would be pointless.
+  EXPECT_GT(strictly_worse, 0);
+}
+
+TEST(GreedyTrackTest, Deterministic) {
+  Rng rng(77004);
+  const graph::Graph g = testutil::RandomGraph(rng, 30, 0.3);
+  const GreedyAssignResult a = GreedyAssignTracks(g, 5);
+  const GreedyAssignResult b = GreedyAssignTracks(g, 5);
+  EXPECT_EQ(a.tracks, b.tracks);
+  EXPECT_EQ(a.success, b.success);
+}
+
+TEST(GreedyTrackTest, MinWidthHonorsMaxWidth) {
+  const graph::Graph g = Complete(8);
+  EXPECT_EQ(GreedyMinimumWidth(g, 1, {}, /*max_width=*/5), -1);
+  EXPECT_EQ(GreedyMinimumWidth(g, 1, {}, /*max_width=*/8), 8);
+}
+
+}  // namespace
+}  // namespace satfr::route

@@ -1,0 +1,279 @@
+// Tests of hierarchical encoding composition (§4), including the Fig. 1.c/d
+// examples and exhaustive exactly-one / at-least-one semantics checks across
+// the full registry.
+#include <gtest/gtest.h>
+
+#include "encode/registry.h"
+#include "sat/brute_force.h"
+
+namespace satfr::encode {
+namespace {
+
+using sat::Lit;
+
+// Figure 1.d: ITE-log-2+ITE-linear on 13 values. The paper spells out the
+// cubes of v4, v5, v6 explicitly.
+TEST(Figure1Test, IteLog2IteLinearCubesMatchPaper) {
+  const DomainEncoding domain =
+      EncodeDomain(GetEncoding("ITE-log-2+ITE-linear"), 13);
+  EXPECT_EQ(domain.num_vars, 5);  // i0,i1 (top) + i2,i3,i4 (shared chain)
+  ASSERT_EQ(domain.value_cubes.size(), 13u);
+  // "v4 is selected ... when i0 & ~i1 & i2"
+  EXPECT_EQ(domain.value_cubes[4],
+            (Cube{Lit::Pos(0), Lit::Neg(1), Lit::Pos(2)}));
+  // "v5 is selected when i0 & ~i1 & ~i2 & i3"
+  EXPECT_EQ(domain.value_cubes[5],
+            (Cube{Lit::Pos(0), Lit::Neg(1), Lit::Neg(2), Lit::Pos(3)}));
+  // "v6 is selected when i0 & ~i1 & ~i2 & ~i3"
+  EXPECT_EQ(domain.value_cubes[6],
+            (Cube{Lit::Pos(0), Lit::Neg(1), Lit::Neg(2), Lit::Neg(3)}));
+  EXPECT_TRUE(domain.exactly_one);
+  EXPECT_TRUE(domain.structural.empty());  // pure ITE hierarchy
+}
+
+// §4's worked conflict clause: two adjacent variables both encoded as in
+// Fig. 1.d must not both take v4; the clause is
+// (~i0 | i1 | ~i2 | ~j0 | j1 | ~j2).
+TEST(Figure1Test, ConflictClauseExample) {
+  const DomainEncoding domain =
+      EncodeDomain(GetEncoding("ITE-log-2+ITE-linear"), 13);
+  const sat::Clause clause =
+      ConflictClause(domain.value_cubes[4], 0, domain.value_cubes[4],
+                     domain.num_vars);
+  const sat::Clause expected{Lit::Neg(0), Lit::Pos(1), Lit::Neg(2),
+                             Lit::Neg(5), Lit::Pos(6), Lit::Neg(7)};
+  EXPECT_EQ(clause, expected);
+}
+
+TEST(Figure1Test, IteLog1IteLinearShape) {
+  // Fig 1.c: one top variable, two linear subtrees over 7 and 6 values.
+  const DomainEncoding domain =
+      EncodeDomain(GetEncoding("ITE-log-1+ITE-linear"), 13);
+  EXPECT_EQ(domain.num_vars, 1 + 6);  // top + chain for the 7-value half
+  // First value of each half.
+  EXPECT_EQ(domain.value_cubes[0], (Cube{Lit::Pos(0), Lit::Pos(1)}));
+  EXPECT_EQ(domain.value_cubes[7], (Cube{Lit::Neg(0), Lit::Pos(1)}));
+  // Last value of the smaller half uses only the first 5 chain variables.
+  EXPECT_EQ(domain.value_cubes[12],
+            (Cube{Lit::Neg(0), Lit::Neg(1), Lit::Neg(2), Lit::Neg(3),
+                  Lit::Neg(4), Lit::Neg(5)}));
+}
+
+// Variable counts per encoding for a 13-value domain.
+TEST(HierarchicalTest, VariableCounts) {
+  const int k = 13;
+  EXPECT_EQ(EncodeDomain(GetEncoding("log"), k).num_vars, 4);
+  EXPECT_EQ(EncodeDomain(GetEncoding("direct"), k).num_vars, 13);
+  EXPECT_EQ(EncodeDomain(GetEncoding("muldirect"), k).num_vars, 13);
+  EXPECT_EQ(EncodeDomain(GetEncoding("ITE-linear"), k).num_vars, 12);
+  EXPECT_EQ(EncodeDomain(GetEncoding("ITE-log"), k).num_vars, 4);
+  EXPECT_EQ(EncodeDomain(GetEncoding("ITE-log-1+ITE-linear"), k).num_vars,
+            7);
+  EXPECT_EQ(EncodeDomain(GetEncoding("ITE-log-2+ITE-linear"), k).num_vars,
+            5);
+  EXPECT_EQ(EncodeDomain(GetEncoding("ITE-log-2+direct"), k).num_vars,
+            2 + 4);
+  EXPECT_EQ(EncodeDomain(GetEncoding("ITE-log-2+muldirect"), k).num_vars,
+            2 + 4);
+  EXPECT_EQ(EncodeDomain(GetEncoding("ITE-linear-2+direct"), k).num_vars,
+            2 + 5);  // 3 subdomains of <=5 values
+  EXPECT_EQ(EncodeDomain(GetEncoding("ITE-linear-2+muldirect"), k).num_vars,
+            2 + 5);
+  // "the number of Boolean variables used for the second-level muldirect
+  // will be ceil(K/n)" (§4): n=3 -> ceil(13/3) = 5.
+  EXPECT_EQ(EncodeDomain(GetEncoding("muldirect-3+muldirect"), k).num_vars,
+            3 + 5);
+  EXPECT_EQ(EncodeDomain(GetEncoding("direct-3+direct"), k).num_vars, 3 + 5);
+}
+
+// Semantic property sweep over every registered encoding and many domain
+// sizes: enumerate all assignments to the indexing Booleans (they are few)
+// and check that assignments satisfying the structural clauses select
+// exactly one value (exactly_one encodings) or at least one value with no
+// "phantom" value outside the domain (muldirect-style encodings).
+class EncodingSemanticsTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(EncodingSemanticsTest, StructuralAssignmentsSelectValues) {
+  const auto& [name, k] = GetParam();
+  const DomainEncoding domain = EncodeDomain(GetEncoding(name), k);
+  ASSERT_LE(domain.num_vars, 18) << "exhaustive sweep too large";
+  int structural_models = 0;
+  for (int bits = 0; bits < (1 << domain.num_vars); ++bits) {
+    std::vector<bool> assignment(static_cast<std::size_t>(domain.num_vars));
+    for (int i = 0; i < domain.num_vars; ++i) {
+      assignment[static_cast<std::size_t>(i)] = ((bits >> i) & 1) != 0;
+    }
+    bool structural_ok = true;
+    for (const sat::Clause& clause : domain.structural) {
+      bool satisfied = false;
+      for (const Lit l : clause) {
+        if (assignment[static_cast<std::size_t>(l.var())] != l.negated()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        structural_ok = false;
+        break;
+      }
+    }
+    if (!structural_ok) continue;
+    ++structural_models;
+    int selected = 0;
+    for (const Cube& cube : domain.value_cubes) {
+      if (CubeSatisfied(cube, 0, assignment)) ++selected;
+    }
+    if (domain.exactly_one) {
+      EXPECT_EQ(selected, 1) << name << " k=" << k << " bits=" << bits;
+    } else {
+      EXPECT_GE(selected, 1) << name << " k=" << k << " bits=" << bits;
+    }
+  }
+  // The encoding must admit at least one selecting assignment per value.
+  EXPECT_GT(structural_models, 0) << name << " k=" << k;
+  for (int value = 0; value < k; ++value) {
+    // Build the assignment implied by the value's cube (others arbitrary
+    // false) and check the cube is internally consistent.
+    const Cube& cube = domain.value_cubes[static_cast<std::size_t>(value)];
+    for (std::size_t i = 0; i < cube.size(); ++i) {
+      for (std::size_t j = i + 1; j < cube.size(); ++j) {
+        EXPECT_FALSE(cube[i].var() == cube[j].var() &&
+                     cube[i].negated() != cube[j].negated())
+            << name << " k=" << k << ": contradictory cube for value "
+            << value;
+      }
+    }
+  }
+}
+
+std::vector<std::tuple<std::string, int>> SemanticsCases() {
+  std::vector<std::tuple<std::string, int>> cases;
+  for (const EncodingSpec& spec : AllEncodings()) {
+    for (const int k : {1, 2, 3, 4, 5, 7, 8, 12, 13}) {
+      // Skip combos whose exhaustive sweep would exceed 2^18.
+      const DomainEncoding domain = EncodeDomain(spec, k);
+      if (domain.num_vars <= 18) cases.emplace_back(spec.name, k);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, EncodingSemanticsTest,
+    ::testing::ValuesIn(SemanticsCases()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      std::string name = std::get<0>(info.param) + "_k" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+// Every value must be *reachable*: its cube extended with structural
+// clauses must be satisfiable, and must decode back to that value.
+class EncodingDecodabilityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(EncodingDecodabilityTest, EveryValueIsSelectableAndDecodes) {
+  const auto& [name, k] = GetParam();
+  const DomainEncoding domain = EncodeDomain(GetEncoding(name), k);
+  for (int value = 0; value < k; ++value) {
+    sat::Cnf cnf(domain.num_vars);
+    for (const sat::Clause& clause : domain.structural) {
+      cnf.AddClause(clause);
+    }
+    for (const Lit l : domain.value_cubes[static_cast<std::size_t>(value)]) {
+      cnf.AddUnit(l);
+    }
+    // For non-exactly-one encodings, also forbid all *other* values so the
+    // decoder (which picks the smallest selected value) must return ours.
+    for (int other = 0; other < k; ++other) {
+      if (other != value) {
+        cnf.AddClause(NegateCube(
+            domain.value_cubes[static_cast<std::size_t>(other)], 0));
+      }
+    }
+    const auto model = sat::SolveByDpll(cnf);
+    ASSERT_TRUE(model.has_value())
+        << name << " k=" << k << ": value " << value << " unreachable";
+    EXPECT_EQ(DecodeValue(domain, 0, *model), value) << name << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, EncodingDecodabilityTest,
+    ::testing::ValuesIn(SemanticsCases()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      std::string name = std::get<0>(info.param) + "_k" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(RegistryTest, CountsMatchPaper) {
+  // 12 new + log + muldirect + direct = 15 paper encodings, plus the
+  // extension set.
+  EXPECT_EQ(AllEncodings().size(), 15u + ExtensionEncodingNames().size());
+  EXPECT_EQ(NewEncodingNames().size(), 12u);   // "12 new encodings"
+  EXPECT_EQ(EvaluatedEncodingNames().size(), 14u);  // "14 encodings compared"
+  EXPECT_EQ(Table2EncodingNames().size(), 7u); // Table 2 columns
+  EXPECT_EQ(ExtensionEncodingNames().size(), 5u);
+}
+
+TEST(RegistryTest, ExtensionNamesResolve) {
+  for (const std::string& name : ExtensionEncodingNames()) {
+    EXPECT_TRUE(FindEncoding(name).has_value()) << name;
+  }
+  // Three-level stacks really have three levels.
+  EXPECT_EQ(GetEncoding("direct-2+direct-2+direct").levels.size(), 3u);
+  EXPECT_EQ(GetEncoding("ITE-log-1+ITE-log-1+ITE-linear").levels.size(), 3u);
+}
+
+TEST(RegistryTest, LookupByName) {
+  EXPECT_TRUE(FindEncoding("ITE-linear-2+muldirect").has_value());
+  EXPECT_FALSE(FindEncoding("no-such-encoding").has_value());
+  EXPECT_EQ(GetEncoding("log").levels.size(), 1u);
+  EXPECT_EQ(GetEncoding("direct-3+muldirect").levels.size(), 2u);
+  EXPECT_EQ(GetEncoding("direct-3+muldirect").levels[0].var_budget, 3);
+}
+
+TEST(RegistryTest, EveryEvaluatedNameResolves) {
+  for (const std::string& name : EvaluatedEncodingNames()) {
+    EXPECT_TRUE(FindEncoding(name).has_value()) << name;
+  }
+  for (const std::string& name : Table2EncodingNames()) {
+    EXPECT_TRUE(FindEncoding(name).has_value()) << name;
+  }
+}
+
+TEST(HierarchicalTest, DomainSmallerThanTopFanout) {
+  // K=3 under ITE-log-2 (4 subdomains): one subdomain is empty and must be
+  // forbidden; semantics stay exactly-one (covered by the sweep above, but
+  // pin the var count here).
+  const DomainEncoding domain =
+      EncodeDomain(GetEncoding("ITE-log-2+direct"), 3);
+  EXPECT_EQ(domain.num_vars, 2 + 1);
+  EXPECT_EQ(domain.domain_size, 3);
+}
+
+TEST(HierarchicalTest, ThreeLevelNestingWorks) {
+  // Not used by the paper's evaluation but supported by the composer:
+  // direct-2 on top of direct-2 on top of muldirect.
+  EncodingSpec spec;
+  spec.name = "direct-2+direct-2+muldirect";
+  spec.levels = {LevelSpec{LevelKind::kDirect, 2},
+                 LevelSpec{LevelKind::kDirect, 2},
+                 LevelSpec{LevelKind::kMuldirect, -1}};
+  const DomainEncoding domain = EncodeDomain(spec, 8);
+  EXPECT_EQ(domain.domain_size, 8);
+  // 2 (top) + 2 (mid) + 2 (bottom muldirect over ceil(8/4)=2 values).
+  EXPECT_EQ(domain.num_vars, 6);
+  ASSERT_EQ(domain.value_cubes.size(), 8u);
+}
+
+}  // namespace
+}  // namespace satfr::encode

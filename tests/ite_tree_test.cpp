@@ -1,0 +1,157 @@
+// Structural tests of the ITE-tree encodings against §3 and Figure 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "encode/ite_tree.h"
+
+namespace satfr::encode {
+namespace {
+
+using sat::Lit;
+
+Cube LinearCube(int value, int count) {
+  // Fig 1.a pattern: v_j selected by ~i0 & ... & ~i_{j-1} & i_j
+  // (last value omits its own positive literal).
+  Cube cube;
+  for (int i = 0; i < value; ++i) cube.push_back(Lit::Neg(i));
+  if (value < count - 1) cube.push_back(Lit::Pos(value));
+  return cube;
+}
+
+TEST(IteLinearTest, Figure1aPatterns) {
+  const int k = 13;
+  const LevelEncoding enc = IteLinearEncoder().Encode(k);
+  EXPECT_EQ(enc.num_vars, 12);
+  EXPECT_TRUE(enc.exactly_one);
+  EXPECT_TRUE(enc.structural.empty());
+  ASSERT_EQ(enc.cubes.size(), 13u);
+  // v0 <- i0 ; v1 <- ~i0 & i1 ; ... ; v12 <- ~i0 & ... & ~i11.
+  for (int v = 0; v < k; ++v) {
+    EXPECT_EQ(enc.cubes[static_cast<std::size_t>(v)], LinearCube(v, k))
+        << "value " << v;
+  }
+}
+
+TEST(IteLinearTest, SingleValueNeedsNoVars) {
+  const LevelEncoding enc = IteLinearEncoder().Encode(1);
+  EXPECT_EQ(enc.num_vars, 0);
+  ASSERT_EQ(enc.cubes.size(), 1u);
+  EXPECT_TRUE(enc.cubes[0].empty());
+}
+
+TEST(IteLogTest, DepthClaimFromSection3) {
+  // "Every path goes through ceil(log2 k) or ceil(log2 k) - 1 ITEs."
+  for (int k = 1; k <= 64; ++k) {
+    const auto tree = BuildBalancedIteTree(k);
+    const int expected = static_cast<int>(std::ceil(std::log2(k)));
+    EXPECT_EQ(TreeMaxDepth(*tree), expected) << "k=" << k;
+    if (k > 1) {
+      EXPECT_GE(TreeMinDepth(*tree), expected - 1) << "k=" << k;
+    }
+  }
+}
+
+TEST(IteLogTest, VarCountIsCeilLog2) {
+  EXPECT_EQ(IteLogEncoder().Encode(13).num_vars, 4);
+  EXPECT_EQ(IteLogEncoder().Encode(16).num_vars, 4);
+  EXPECT_EQ(IteLogEncoder().Encode(17).num_vars, 5);
+  EXPECT_EQ(IteLogEncoder().Encode(2).num_vars, 1);
+  EXPECT_EQ(IteLogEncoder().Encode(1).num_vars, 0);
+}
+
+TEST(IteLogTest, SharesVariablesByDepth) {
+  // With 13 leaves only 4 distinct variables may appear.
+  const auto tree = BuildBalancedIteTree(13);
+  EXPECT_EQ(TreeNumVars(*tree), 4);
+}
+
+TEST(IteLogTest, NoStructuralClauses) {
+  const LevelEncoding enc = IteLogEncoder().Encode(13);
+  EXPECT_TRUE(enc.structural.empty());
+  EXPECT_TRUE(enc.exactly_one);
+}
+
+// The defining ITE-tree property: every assignment to the indexing Booleans
+// selects exactly one leaf. Checked exhaustively.
+class IteExactlyOneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IteExactlyOneTest, LinearSelectsExactlyOneLeaf) {
+  const int k = GetParam();
+  const LevelEncoding enc = IteLinearEncoder().Encode(k);
+  ASSERT_LE(enc.num_vars, 16);
+  for (int bits = 0; bits < (1 << enc.num_vars); ++bits) {
+    std::vector<bool> assignment(static_cast<std::size_t>(enc.num_vars));
+    for (int i = 0; i < enc.num_vars; ++i) {
+      assignment[static_cast<std::size_t>(i)] = ((bits >> i) & 1) != 0;
+    }
+    int selected = 0;
+    for (const Cube& cube : enc.cubes) {
+      if (CubeSatisfied(cube, 0, assignment)) ++selected;
+    }
+    EXPECT_EQ(selected, 1) << "k=" << k << " bits=" << bits;
+  }
+}
+
+TEST_P(IteExactlyOneTest, BalancedSelectsExactlyOneLeaf) {
+  const int k = GetParam();
+  const LevelEncoding enc = IteLogEncoder().Encode(k);
+  for (int bits = 0; bits < (1 << enc.num_vars); ++bits) {
+    std::vector<bool> assignment(static_cast<std::size_t>(enc.num_vars));
+    for (int i = 0; i < enc.num_vars; ++i) {
+      assignment[static_cast<std::size_t>(i)] = ((bits >> i) & 1) != 0;
+    }
+    int selected = 0;
+    for (const Cube& cube : enc.cubes) {
+      if (CubeSatisfied(cube, 0, assignment)) ++selected;
+    }
+    EXPECT_EQ(selected, 1) << "k=" << k << " bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainSizes, IteExactlyOneTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13,
+                                           16, 17));
+
+TEST(IteReducedTest, LinearReducedUsesPrefixVars) {
+  const IteLinearEncoder enc;
+  const auto reduced = enc.ReducedCubes(7, 4);
+  ASSERT_EQ(reduced.size(), 4u);
+  // A 4-leaf chain uses variables 0..2 only.
+  for (const Cube& cube : reduced) {
+    for (const Lit l : cube) {
+      EXPECT_LT(l.var(), 3);
+    }
+  }
+  EXPECT_FALSE(enc.ReducedNeedsRestriction());
+}
+
+TEST(IteReducedTest, BalancedReducedUsesPrefixVars) {
+  const IteLogEncoder enc;
+  const auto reduced = enc.ReducedCubes(8, 3);  // full tree: 3 vars
+  ASSERT_EQ(reduced.size(), 3u);
+  for (const Cube& cube : reduced) {
+    for (const Lit l : cube) {
+      EXPECT_LT(l.var(), 2);  // ceil(log2 3) = 2
+    }
+  }
+  EXPECT_FALSE(enc.ReducedNeedsRestriction());
+}
+
+TEST(IteTreeTest, RenderMentionsAllLeavesAndVars) {
+  const auto tree = BuildLinearIteTree(4);
+  const std::string text = RenderIteTree(*tree);
+  for (const char* token : {"v0", "v1", "v2", "v3", "i0", "i1", "i2"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(IteTreeTest, LinearTreeDepths) {
+  const auto tree = BuildLinearIteTree(13);
+  EXPECT_EQ(TreeMaxDepth(*tree), 12);
+  EXPECT_EQ(TreeMinDepth(*tree), 1);
+  EXPECT_EQ(TreeNumVars(*tree), 12);
+}
+
+}  // namespace
+}  // namespace satfr::encode

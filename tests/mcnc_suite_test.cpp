@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/mcnc_suite.h"
+
+namespace satfr::netlist {
+namespace {
+
+TEST(McncSuiteTest, Table2NamesMatchPaperOrder) {
+  const auto& names = Table2BenchmarkNames();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[0], "alu2");
+  EXPECT_EQ(names[1], "too_large");
+  EXPECT_EQ(names[2], "alu4");
+  EXPECT_EQ(names[3], "C880");
+  EXPECT_EQ(names[4], "apex7");
+  EXPECT_EQ(names[5], "C1355");
+  EXPECT_EQ(names[6], "vda");
+  EXPECT_EQ(names[7], "k2");
+}
+
+TEST(McncSuiteTest, AllNamesIncludeTable2AndExtras) {
+  const auto& all = AllBenchmarkNames();
+  for (const std::string& name : Table2BenchmarkNames()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+  EXPECT_NE(std::find(all.begin(), all.end(), "tiny"), all.end());
+}
+
+TEST(McncSuiteTest, ParamsLookup) {
+  const McncParams params = GetMcncParams("alu2");
+  EXPECT_EQ(params.name, "alu2");
+  EXPECT_GT(params.grid_size, 0);
+  EXPECT_GT(params.num_nets, 0);
+}
+
+TEST(McncSuiteTest, GenerationIsDeterministic) {
+  const McncBenchmark a = GenerateMcncBenchmark("tiny");
+  const McncBenchmark b = GenerateMcncBenchmark("tiny");
+  ASSERT_EQ(a.netlist.num_nets(), b.netlist.num_nets());
+  ASSERT_EQ(a.netlist.num_blocks(), b.netlist.num_blocks());
+  for (NetId n = 0; n < a.netlist.num_nets(); ++n) {
+    EXPECT_EQ(a.netlist.net(n).source, b.netlist.net(n).source);
+    EXPECT_EQ(a.netlist.net(n).sinks, b.netlist.net(n).sinks);
+  }
+  for (BlockId blk = 0; blk < a.netlist.num_blocks(); ++blk) {
+    EXPECT_EQ(a.placement.LocationOf(blk).x, b.placement.LocationOf(blk).x);
+    EXPECT_EQ(a.placement.LocationOf(blk).y, b.placement.LocationOf(blk).y);
+  }
+}
+
+TEST(McncSuiteTest, DifferentBenchmarksDiffer) {
+  const McncBenchmark a = GenerateMcncBenchmark("9symml");
+  const McncBenchmark b = GenerateMcncBenchmark("term1");
+  EXPECT_TRUE(a.netlist.num_nets() != b.netlist.num_nets() ||
+              a.netlist.num_blocks() != b.netlist.num_blocks() ||
+              a.netlist.net(0).source != b.netlist.net(0).source);
+}
+
+TEST(McncSuiteTest, EveryBenchmarkValidatesAndIsPlaced) {
+  for (const std::string& name : AllBenchmarkNames()) {
+    const McncBenchmark bench = GenerateMcncBenchmark(name);
+    std::string error;
+    EXPECT_TRUE(bench.netlist.Validate(&error)) << name << ": " << error;
+    EXPECT_TRUE(bench.placement.CoversNetlist(bench.netlist)) << name;
+    EXPECT_EQ(bench.netlist.num_nets(), bench.params.num_nets) << name;
+    EXPECT_LE(bench.netlist.MaxFanout(), bench.params.max_fanout) << name;
+  }
+}
+
+TEST(McncSuiteTest, HardnessKnobsGrowAlongTable2Order) {
+  // The synthetic suite must preserve the paper's relative scale ordering.
+  const auto& names = Table2BenchmarkNames();
+  for (std::size_t i = 0; i + 1 < names.size(); ++i) {
+    const McncParams a = GetMcncParams(names[i]);
+    const McncParams b = GetMcncParams(names[i + 1]);
+    EXPECT_LE(a.grid_size, b.grid_size) << names[i];
+    EXPECT_LE(a.num_nets, b.num_nets) << names[i];
+  }
+}
+
+}  // namespace
+}  // namespace satfr::netlist

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "netlist/placement.h"
+
+namespace satfr::netlist {
+namespace {
+
+TEST(PlacementTest, PlaceAndQuery) {
+  Placement placement(4, 2);
+  EXPECT_TRUE(placement.Place(0, 1, 2));
+  EXPECT_TRUE(placement.IsPlaced(0));
+  EXPECT_FALSE(placement.IsPlaced(1));
+  const fpga::Coord c = placement.LocationOf(0);
+  EXPECT_EQ(c.x, 1);
+  EXPECT_EQ(c.y, 2);
+}
+
+TEST(PlacementTest, SiteCollisionRejected) {
+  Placement placement(4, 2);
+  EXPECT_TRUE(placement.Place(0, 0, 0));
+  EXPECT_FALSE(placement.Place(1, 0, 0));
+  EXPECT_FALSE(placement.IsPlaced(1));
+}
+
+TEST(PlacementTest, OutOfRangeRejected) {
+  Placement placement(4, 1);
+  EXPECT_FALSE(placement.Place(0, -1, 0));
+  EXPECT_FALSE(placement.Place(0, 4, 0));
+  EXPECT_FALSE(placement.Place(0, 0, 7));
+}
+
+TEST(PlacementTest, BlockAt) {
+  Placement placement(4, 2);
+  placement.Place(0, 2, 3);
+  EXPECT_EQ(placement.BlockAt(2, 3), std::optional<BlockId>(0));
+  EXPECT_EQ(placement.BlockAt(0, 0), std::nullopt);
+  EXPECT_EQ(placement.BlockAt(-1, 0), std::nullopt);
+  EXPECT_EQ(placement.BlockAt(4, 0), std::nullopt);
+}
+
+TEST(PlacementTest, CoversNetlist) {
+  Netlist nets;
+  nets.AddBlock("a");
+  nets.AddBlock("b");
+  Placement placement(3, 2);
+  placement.Place(0, 0, 0);
+  EXPECT_FALSE(placement.CoversNetlist(nets));
+  placement.Place(1, 1, 1);
+  EXPECT_TRUE(placement.CoversNetlist(nets));
+}
+
+}  // namespace
+}  // namespace satfr::netlist

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "fpga/render.h"
+
+namespace satfr::fpga {
+namespace {
+
+TEST(RenderTest, OneByOneGrid) {
+  const Arch arch(1);
+  std::vector<int> values(static_cast<std::size_t>(arch.num_segments()), 0);
+  values[static_cast<std::size_t>(arch.HorizontalSegment(0, 1))] = 3;
+  values[static_cast<std::size_t>(arch.VerticalSegment(0, 0))] = 1;
+  const std::string text = RenderSegmentValues(arch, values);
+  EXPECT_EQ(text,
+            "+-3-+\n"
+            "1[ ].\n"
+            "+-.-+\n");
+}
+
+TEST(RenderTest, GlyphSaturation) {
+  const Arch arch(1);
+  std::vector<int> values(static_cast<std::size_t>(arch.num_segments()), 12);
+  const std::string text = RenderSegmentValues(arch, values);
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_EQ(text.find('.'), std::string::npos);
+}
+
+TEST(RenderTest, DimensionsScaleWithGrid) {
+  const Arch arch(3);
+  const std::vector<int> values(
+      static_cast<std::size_t>(arch.num_segments()), 0);
+  const std::string text = RenderSegmentValues(arch, values);
+  // (N+1) switch rows + N block rows = 7 lines.
+  int lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 7);
+}
+
+TEST(RenderTest, EveryValueAppearsOnce) {
+  const Arch arch(2);
+  std::vector<int> values(static_cast<std::size_t>(arch.num_segments()), 0);
+  for (std::size_t s = 0; s < values.size(); ++s) {
+    values[s] = 5;
+  }
+  const std::string text = RenderSegmentValues(arch, values);
+  int fives = 0;
+  for (const char c : text) {
+    if (c == '5') ++fives;
+  }
+  EXPECT_EQ(fives, arch.num_segments());
+}
+
+}  // namespace
+}  // namespace satfr::fpga

@@ -1,0 +1,144 @@
+// Tests of DRUP proof logging (Solver::SetProofLog) and the independent
+// RUP checker, including end-to-end verification of unroutability proofs.
+#include <gtest/gtest.h>
+
+#include "encode/csp_to_cnf.h"
+#include "encode/registry.h"
+#include "sat/rup_checker.h"
+#include "sat/solver.h"
+#include "test_util.h"
+
+namespace satfr::sat {
+namespace {
+
+// Runs the solver with proof logging and, on UNSAT, checks the proof.
+void SolveAndVerify(const Cnf& cnf, bool expect_unsat) {
+  Solver solver;
+  std::vector<Clause> proof;
+  solver.SetProofLog(&proof);
+  SolveResult result = SolveResult::kUnsat;
+  if (solver.AddCnf(cnf)) result = solver.Solve();
+  ASSERT_EQ(result == SolveResult::kUnsat, expect_unsat);
+  if (expect_unsat) {
+    std::string error;
+    EXPECT_TRUE(VerifyRupRefutation(cnf, proof, &error)) << error;
+  }
+}
+
+TEST(RupCheckerTest, TrivialContradiction) {
+  Cnf cnf(1);
+  cnf.AddUnit(Lit::Pos(0));
+  cnf.AddUnit(Lit::Neg(0));
+  SolveAndVerify(cnf, /*expect_unsat=*/true);
+}
+
+TEST(RupCheckerTest, EmptyClauseInFormula) {
+  Cnf cnf(1);
+  cnf.AddClause({});
+  // The formula refutes itself; even an empty proof verifies.
+  EXPECT_TRUE(VerifyRupRefutation(cnf, {}));
+}
+
+TEST(RupCheckerTest, PigeonholeProofsVerify) {
+  for (int holes : {3, 4, 5, 6}) {
+    SolveAndVerify(testutil::PigeonholeCnf(holes), /*expect_unsat=*/true);
+  }
+}
+
+TEST(RupCheckerTest, RandomUnsatProofsVerify) {
+  Rng rng(515151);
+  int unsat_seen = 0;
+  for (int i = 0; i < 40 && unsat_seen < 10; ++i) {
+    const Cnf cnf = testutil::RandomCnf(rng, 14, 60, 3);
+    Solver probe;
+    SolveResult result = SolveResult::kUnsat;
+    if (probe.AddCnf(cnf)) result = probe.Solve();
+    if (result != SolveResult::kUnsat) continue;
+    ++unsat_seen;
+    SolveAndVerify(cnf, /*expect_unsat=*/true);
+  }
+  EXPECT_GE(unsat_seen, 5);
+}
+
+TEST(RupCheckerTest, MissingEmptyClauseRejected) {
+  Cnf cnf(2);
+  cnf.AddBinary(Lit::Pos(0), Lit::Pos(1));
+  // A proof of a satisfiable formula can never verify as a refutation.
+  std::string error;
+  EXPECT_FALSE(VerifyRupRefutation(cnf, {}, &error));
+  EXPECT_NE(error.find("does not derive"), std::string::npos);
+}
+
+TEST(RupCheckerTest, BogusStepRejected) {
+  // x0|x1, and a "proof" asserting the non-consequence unit x0.
+  Cnf cnf(2);
+  cnf.AddBinary(Lit::Pos(0), Lit::Pos(1));
+  std::vector<Clause> proof;
+  proof.push_back({Lit::Pos(0)});
+  proof.push_back({});
+  std::string error;
+  EXPECT_FALSE(VerifyRupRefutation(cnf, proof, &error));
+  EXPECT_NE(error.find("step 0"), std::string::npos);
+}
+
+TEST(RupCheckerTest, TruncatedProofRejected) {
+  // A valid prefix of a pigeonhole proof must NOT verify (no refutation).
+  const Cnf cnf = testutil::PigeonholeCnf(5);
+  Solver solver;
+  std::vector<Clause> proof;
+  solver.SetProofLog(&proof);
+  ASSERT_TRUE(solver.AddCnf(cnf));
+  ASSERT_EQ(solver.Solve(), SolveResult::kUnsat);
+  ASSERT_GT(proof.size(), 4u);
+  proof.resize(proof.size() / 2);
+  // Either the prefix fails RUP at some step (it should not — it is a
+  // prefix of a valid proof) or it fails for not reaching the empty clause.
+  std::string error;
+  EXPECT_FALSE(VerifyRupRefutation(cnf, proof, &error));
+  EXPECT_NE(error.find("does not derive"), std::string::npos);
+}
+
+TEST(RupCheckerTest, ColoringUnsatProofsVerifyAcrossEncodings) {
+  // The paper's use case: verify unroutability proofs of coloring CNFs for
+  // several encodings (triangle with 2 colors; K5 with 4 colors).
+  graph::Graph k5(5);
+  for (graph::VertexId u = 0; u < 5; ++u) {
+    for (graph::VertexId v = u + 1; v < 5; ++v) k5.AddEdge(u, v);
+  }
+  for (const char* name :
+       {"log", "direct", "muldirect", "ITE-linear", "ITE-log",
+        "ITE-linear-2+muldirect", "muldirect-3+muldirect"}) {
+    const encode::EncodedColoring enc =
+        EncodeColoring(k5, 4, encode::GetEncoding(name));
+    SolveAndVerify(enc.cnf, /*expect_unsat=*/true);
+  }
+}
+
+TEST(RupCheckerTest, AssumptionUnsatDoesNotFakeARefutation) {
+  // UNSAT *under assumptions* must not produce a proof that the formula
+  // itself is UNSAT.
+  Cnf cnf(2);
+  cnf.AddBinary(Lit::Pos(0), Lit::Pos(1));
+  Solver solver;
+  std::vector<Clause> proof;
+  solver.SetProofLog(&proof);
+  ASSERT_TRUE(solver.AddCnf(cnf));
+  ASSERT_EQ(solver.SolveWithAssumptions({Lit::Neg(0), Lit::Neg(1)}),
+            SolveResult::kUnsat);
+  EXPECT_TRUE(solver.okay());
+  EXPECT_FALSE(VerifyRupRefutation(cnf, proof));
+}
+
+TEST(RupCheckerTest, SatisfiableInstancesLogNoRefutation) {
+  Cnf cnf(3);
+  cnf.AddTernary(Lit::Pos(0), Lit::Pos(1), Lit::Pos(2));
+  Solver solver;
+  std::vector<Clause> proof;
+  solver.SetProofLog(&proof);
+  ASSERT_TRUE(solver.AddCnf(cnf));
+  ASSERT_EQ(solver.Solve(), SolveResult::kSat);
+  EXPECT_FALSE(VerifyRupRefutation(cnf, proof));
+}
+
+}  // namespace
+}  // namespace satfr::sat

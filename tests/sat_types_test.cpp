@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "sat/types.h"
+
+namespace satfr::sat {
+namespace {
+
+TEST(LitTest, MakeAndAccessors) {
+  const Lit p = Lit::Pos(3);
+  EXPECT_EQ(p.var(), 3);
+  EXPECT_FALSE(p.negated());
+  EXPECT_TRUE(p.IsValid());
+
+  const Lit n = Lit::Neg(3);
+  EXPECT_EQ(n.var(), 3);
+  EXPECT_TRUE(n.negated());
+  EXPECT_NE(p, n);
+}
+
+TEST(LitTest, NegationIsInvolution) {
+  for (Var v = 0; v < 10; ++v) {
+    const Lit p = Lit::Pos(v);
+    EXPECT_EQ(~p, Lit::Neg(v));
+    EXPECT_EQ(~~p, p);
+  }
+}
+
+TEST(LitTest, CodePacksVarAndSign) {
+  EXPECT_EQ(Lit::Pos(0).code(), 0);
+  EXPECT_EQ(Lit::Neg(0).code(), 1);
+  EXPECT_EQ(Lit::Pos(5).code(), 10);
+  EXPECT_EQ(Lit::Neg(5).code(), 11);
+}
+
+TEST(LitTest, DefaultIsInvalid) {
+  const Lit undef;
+  EXPECT_FALSE(undef.IsValid());
+  EXPECT_FALSE(kUndefLit.IsValid());
+}
+
+TEST(LitTest, DimacsRoundTrip) {
+  for (int d : {1, -1, 7, -7, 100, -100}) {
+    const Lit l = Lit::FromDimacs(d);
+    EXPECT_EQ(l.ToDimacs(), d);
+  }
+  EXPECT_EQ(Lit::Pos(0).ToDimacs(), 1);
+  EXPECT_EQ(Lit::Neg(0).ToDimacs(), -1);
+}
+
+TEST(LitTest, Ordering) {
+  EXPECT_LT(Lit::Pos(0), Lit::Neg(0));
+  EXPECT_LT(Lit::Neg(0), Lit::Pos(1));
+}
+
+TEST(LitTest, ToString) {
+  EXPECT_EQ(Lit::Pos(2).ToString(), "x2");
+  EXPECT_EQ(Lit::Neg(2).ToString(), "~x2");
+}
+
+TEST(LBoolTest, NegateFixesUndef) {
+  EXPECT_EQ(Negate(LBool::kTrue), LBool::kFalse);
+  EXPECT_EQ(Negate(LBool::kFalse), LBool::kTrue);
+  EXPECT_EQ(Negate(LBool::kUndef), LBool::kUndef);
+}
+
+TEST(LBoolTest, LitValueHonorsSign) {
+  EXPECT_EQ(LitValue(Lit::Pos(0), LBool::kTrue), LBool::kTrue);
+  EXPECT_EQ(LitValue(Lit::Neg(0), LBool::kTrue), LBool::kFalse);
+  EXPECT_EQ(LitValue(Lit::Neg(0), LBool::kFalse), LBool::kTrue);
+  EXPECT_EQ(LitValue(Lit::Neg(0), LBool::kUndef), LBool::kUndef);
+}
+
+}  // namespace
+}  // namespace satfr::sat

@@ -1,0 +1,64 @@
+// Shared helpers for satfr tests: random formula / graph generators.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sat/cnf.h"
+
+namespace satfr::testutil {
+
+/// Random CNF with exactly `num_clauses` clauses of length 1..max_len over
+/// `num_vars` variables (duplicate literals possible — parsers and solvers
+/// must cope).
+inline sat::Cnf RandomCnf(Rng& rng, int num_vars, int num_clauses,
+                          int max_len = 3) {
+  sat::Cnf cnf(num_vars);
+  for (int c = 0; c < num_clauses; ++c) {
+    sat::Clause clause;
+    const int len = static_cast<int>(1 + rng.NextBelow(
+                                             static_cast<std::uint64_t>(max_len)));
+    for (int i = 0; i < len; ++i) {
+      clause.push_back(sat::Lit::Make(
+          static_cast<sat::Var>(
+              rng.NextBelow(static_cast<std::uint64_t>(num_vars))),
+          rng.NextBool(0.5)));
+    }
+    cnf.AddClause(std::move(clause));
+  }
+  return cnf;
+}
+
+/// Erdos-Renyi G(n, p) graph.
+inline graph::Graph RandomGraph(Rng& rng, int num_vertices,
+                                double edge_probability) {
+  graph::Graph g(num_vertices);
+  for (graph::VertexId u = 0; u < num_vertices; ++u) {
+    for (graph::VertexId v = u + 1; v < num_vertices; ++v) {
+      if (rng.NextBool(edge_probability)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+/// The pigeonhole principle PHP(holes+1, holes) as CNF — classically hard
+/// UNSAT family for resolution-based solvers.
+inline sat::Cnf PigeonholeCnf(int holes) {
+  const int pigeons = holes + 1;
+  sat::Cnf cnf(pigeons * holes);
+  const auto var = [holes](int p, int h) { return p * holes + h; };
+  for (int p = 0; p < pigeons; ++p) {
+    sat::Clause alo;
+    for (int h = 0; h < holes; ++h) alo.push_back(sat::Lit::Pos(var(p, h)));
+    cnf.AddClause(std::move(alo));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.AddBinary(sat::Lit::Neg(var(p1, h)), sat::Lit::Neg(var(p2, h)));
+      }
+    }
+  }
+  return cnf;
+}
+
+}  // namespace satfr::testutil

@@ -1,0 +1,354 @@
+// satfr — command-line front end for the SAT-based FPGA detailed routing
+// flow and its building blocks.
+//
+//   satfr benchmarks                       list the synthetic MCNC suite
+//   satfr encodings                        list the registered encodings
+//   satfr prove  <benchmark> [opts]        find W*, prove W*-1 unroutable
+//   satfr route  <benchmark> --width W     route at a fixed channel width
+//   satfr export <benchmark> [opts]        write .col / .cnf artifacts
+//   satfr solve  <file.cnf> [opts]         run the CDCL solver on DIMACS CNF
+//   satfr color  <file.col> --width K      K-color a DIMACS graph via SAT
+//   satfr route-file <file.net> [opts]     full flow on a placed-netlist
+//                                          file (optionally --routing FILE
+//                                          to reuse a saved global routing,
+//                                          --save-routing FILE to save one)
+//
+// Common options:
+//   --encoding NAME   (default ITE-linear-2+muldirect)
+//   --sym b1|s1|none  (default s1)
+//   --solver siege|minisat|walksat  (default siege; walksat: SAT-only)
+//   --timeout SECONDS (default 300)
+//   --width N
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "encode/registry.h"
+#include "flow/conflict_graph.h"
+#include "flow/detailed_router.h"
+#include "flow/min_width.h"
+#include "flow/track_checker.h"
+#include "graph/coloring_bounds.h"
+#include "graph/dimacs_col.h"
+#include "netlist/mcnc_suite.h"
+#include "netlist/netlist_io.h"
+#include "route/global_router.h"
+#include "route/routing_io.h"
+#include "sat/dimacs.h"
+#include "sat/walksat.h"
+
+namespace {
+
+using namespace satfr;
+
+struct CliOptions {
+  std::string encoding = "ITE-linear-2+muldirect";
+  std::string sym = "s1";
+  std::string solver = "siege";
+  std::string routing_file;
+  std::string save_routing_file;
+  double timeout = 300.0;
+  int width = -1;
+  std::vector<std::string> positional;
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: satfr <benchmarks|encodings|prove|route|export|solve|color> "
+      "[args]\n"
+      "  see the header of tools/satfr_cli.cpp or README.md for details\n");
+  std::exit(2);
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--encoding") {
+      opts.encoding = next();
+    } else if (arg == "--sym") {
+      opts.sym = next();
+    } else if (arg == "--solver") {
+      opts.solver = next();
+    } else if (arg == "--timeout") {
+      opts.timeout = std::atof(next().c_str());
+    } else if (arg == "--width") {
+      opts.width = std::atoi(next().c_str());
+    } else if (arg == "--routing") {
+      opts.routing_file = next();
+    } else if (arg == "--save-routing") {
+      opts.save_routing_file = next();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      Usage();
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  return opts;
+}
+
+flow::DetailedRouteOptions ToRouteOptions(const CliOptions& opts) {
+  flow::DetailedRouteOptions route;
+  route.encoding = encode::GetEncoding(opts.encoding);
+  route.heuristic = symmetry::HeuristicFromName(opts.sym);
+  route.solver = opts.solver == "minisat"
+                     ? sat::SolverOptions::MiniSatLike()
+                     : sat::SolverOptions::SiegeLike();
+  route.timeout_seconds = opts.timeout;
+  return route;
+}
+
+struct LoadedBenchmark {
+  fpga::Arch arch{1};
+  route::GlobalRouting routing;
+  graph::Graph conflict;
+  int peak = 0;
+};
+
+LoadedBenchmark LoadBenchmark(const std::string& name) {
+  const netlist::McncBenchmark bench = netlist::GenerateMcncBenchmark(name);
+  LoadedBenchmark loaded;
+  loaded.arch = fpga::Arch(bench.params.grid_size);
+  const fpga::DeviceGraph device(loaded.arch);
+  loaded.routing =
+      route::RouteGlobally(device, bench.netlist, bench.placement);
+  loaded.conflict = flow::BuildConflictGraph(loaded.arch, loaded.routing);
+  loaded.peak = route::PeakCongestion(loaded.arch, loaded.routing);
+  return loaded;
+}
+
+int CmdBenchmarks() {
+  std::printf("%-12s %6s %6s %10s\n", "name", "grid", "nets", "2-pin");
+  for (const std::string& name : netlist::AllBenchmarkNames()) {
+    const netlist::McncBenchmark bench =
+        netlist::GenerateMcncBenchmark(name);
+    std::printf("%-12s %6d %6d %10d\n", name.c_str(),
+                bench.params.grid_size, bench.netlist.num_nets(),
+                bench.netlist.NumTwoPinConnections());
+  }
+  return 0;
+}
+
+int CmdEncodings() {
+  for (const encode::EncodingSpec& spec : encode::AllEncodings()) {
+    const encode::DomainEncoding d13 = EncodeDomain(spec, 13);
+    std::printf("%-26s  levels=%zu  vars@K13=%d\n", spec.name.c_str(),
+                spec.levels.size(), d13.num_vars);
+  }
+  return 0;
+}
+
+int CmdProve(const CliOptions& opts) {
+  if (opts.positional.empty()) Usage();
+  const LoadedBenchmark loaded = LoadBenchmark(opts.positional[0]);
+  flow::MinWidthOptions mw;
+  mw.route = ToRouteOptions(opts);
+  const flow::MinWidthResult result =
+      flow::FindMinimumWidthOnGraph(loaded.conflict, loaded.peak, mw);
+  if (result.min_width < 0) {
+    std::printf("TIMEOUT before establishing W*\n");
+    return 1;
+  }
+  std::printf("W* = %d (lower bound %d, optimality %s)\n", result.min_width,
+              result.lower_bound,
+              result.proven_optimal ? "proven" : "open");
+  std::printf("SAT at W*:   %.3fs   UNSAT at W*-1: %.3fs\n",
+              result.routable.TotalSeconds(),
+              result.unroutable.TotalSeconds());
+  return 0;
+}
+
+int CmdRoute(const CliOptions& opts) {
+  if (opts.positional.empty() || opts.width < 1) Usage();
+  const LoadedBenchmark loaded = LoadBenchmark(opts.positional[0]);
+  const auto result = flow::RouteDetailedOnGraph(loaded.conflict, opts.width,
+                                                 ToRouteOptions(opts));
+  std::printf("%s in %.3fs (%d vars, %zu clauses, %llu conflicts)\n",
+              sat::ToString(result.status), result.TotalSeconds(),
+              result.cnf_vars, result.cnf_clauses,
+              static_cast<unsigned long long>(
+                  result.solver_stats.conflicts));
+  if (result.status == sat::SolveResult::kSat) {
+    std::string error;
+    if (!flow::ValidateTrackAssignment(loaded.arch, loaded.routing,
+                                       result.tracks, opts.width, &error)) {
+      std::printf("INTERNAL ERROR: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("track assignment validated.\n");
+  }
+  return result.status == sat::SolveResult::kUnknown ? 1 : 0;
+}
+
+int CmdExport(const CliOptions& opts) {
+  if (opts.positional.empty()) Usage();
+  const std::string name = opts.positional[0];
+  const LoadedBenchmark loaded = LoadBenchmark(name);
+  const int width = opts.width > 0 ? opts.width : loaded.peak;
+  const std::string col_path = name + ".col";
+  graph::WriteDimacsColFile(loaded.conflict, col_path,
+                            {"satfr conflict graph: " + name});
+  const auto sequence = symmetry::SymmetrySequence(
+      loaded.conflict, width, symmetry::HeuristicFromName(opts.sym));
+  const auto enc = encode::EncodeColoring(
+      loaded.conflict, width, encode::GetEncoding(opts.encoding), sequence);
+  const std::string cnf_path = name + "_w" + std::to_string(width) + ".cnf";
+  sat::WriteDimacsFile(enc.cnf, cnf_path,
+                       {"satfr: " + name + " W=" + std::to_string(width) +
+                        " encoding=" + opts.encoding + " sym=" + opts.sym});
+  std::printf("wrote %s (%d vertices, %zu edges) and %s (%d vars, %zu "
+              "clauses)\n",
+              col_path.c_str(), loaded.conflict.num_vertices(),
+              loaded.conflict.num_edges(), cnf_path.c_str(),
+              enc.cnf.num_vars(), enc.cnf.num_clauses());
+  return 0;
+}
+
+int CmdSolve(const CliOptions& opts) {
+  if (opts.positional.empty()) Usage();
+  const auto cnf = sat::ParseDimacsFile(opts.positional[0]);
+  if (!cnf) {
+    std::fprintf(stderr, "cannot parse '%s'\n", opts.positional[0].c_str());
+    return 2;
+  }
+  const Deadline deadline = Deadline::After(opts.timeout);
+  if (opts.solver == "walksat") {
+    sat::WalkSat walksat(*cnf);
+    const auto result = walksat.Solve(deadline);
+    std::printf("%s (%llu flips)\n", sat::ToString(result),
+                static_cast<unsigned long long>(walksat.stats().flips));
+    return result == sat::SolveResult::kUnknown ? 1 : 0;
+  }
+  sat::Solver solver(opts.solver == "minisat"
+                         ? sat::SolverOptions::MiniSatLike()
+                         : sat::SolverOptions::SiegeLike());
+  sat::SolveResult result = sat::SolveResult::kUnsat;
+  if (solver.AddCnf(*cnf)) result = solver.Solve(deadline);
+  std::printf("%s (%llu conflicts, %llu decisions)\n",
+              sat::ToString(result),
+              static_cast<unsigned long long>(solver.stats().conflicts),
+              static_cast<unsigned long long>(solver.stats().decisions));
+  return result == sat::SolveResult::kUnknown ? 1 : 0;
+}
+
+int CmdColor(const CliOptions& opts) {
+  if (opts.positional.empty() || opts.width < 1) Usage();
+  const auto g = graph::ParseDimacsColFile(opts.positional[0]);
+  if (!g) {
+    std::fprintf(stderr, "cannot parse '%s'\n", opts.positional[0].c_str());
+    return 2;
+  }
+  const auto sequence = symmetry::SymmetrySequence(
+      *g, opts.width, symmetry::HeuristicFromName(opts.sym));
+  const auto enc = encode::EncodeColoring(
+      *g, opts.width, encode::GetEncoding(opts.encoding), sequence);
+  sat::Solver solver(sat::SolverOptions::SiegeLike());
+  sat::SolveResult result = sat::SolveResult::kUnsat;
+  if (solver.AddCnf(enc.cnf)) {
+    result = solver.Solve(Deadline::After(opts.timeout));
+  }
+  std::printf("%d-coloring: %s\n", opts.width, sat::ToString(result));
+  if (result == sat::SolveResult::kSat) {
+    const auto colors = encode::DecodeColoring(enc, solver.model());
+    if (!g->IsProperColoring(colors)) {
+      std::printf("INTERNAL ERROR: improper coloring decoded\n");
+      return 1;
+    }
+    for (std::size_t v = 0; v < colors.size(); ++v) {
+      std::printf("v%zu %d\n", v + 1, colors[v]);
+    }
+  }
+  return result == sat::SolveResult::kUnknown ? 1 : 0;
+}
+
+int CmdRouteFile(const CliOptions& opts) {
+  if (opts.positional.empty()) Usage();
+  std::string error;
+  const auto parsed =
+      netlist::ParsePlacedNetlistFile(opts.positional[0], &error);
+  if (!parsed) {
+    std::fprintf(stderr, "netlist: %s\n", error.c_str());
+    return 2;
+  }
+  const fpga::Arch arch(parsed->params.grid_size);
+  route::GlobalRouting routing;
+  if (!opts.routing_file.empty()) {
+    const auto loaded =
+        route::ParseGlobalRoutingFile(opts.routing_file, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "routing: %s\n", error.c_str());
+      return 2;
+    }
+    if (loaded->grid_size != arch.grid_size()) {
+      std::fprintf(stderr, "routing grid %d != netlist grid %d\n",
+                   loaded->grid_size, arch.grid_size());
+      return 2;
+    }
+    routing = loaded->routing;
+    if (!route::ValidateGlobalRouting(arch, parsed->placement, routing,
+                                      &error)) {
+      std::fprintf(stderr, "routing invalid: %s\n", error.c_str());
+      return 2;
+    }
+  } else {
+    const fpga::DeviceGraph device(arch);
+    routing = route::RouteGlobally(device, parsed->netlist,
+                                   parsed->placement);
+  }
+  if (!opts.save_routing_file.empty()) {
+    if (!route::WriteGlobalRoutingFile(arch, routing,
+                                       opts.save_routing_file)) {
+      std::fprintf(stderr, "cannot write '%s'\n",
+                   opts.save_routing_file.c_str());
+      return 2;
+    }
+    std::printf("saved global routing to %s\n",
+                opts.save_routing_file.c_str());
+  }
+  const graph::Graph conflict = flow::BuildConflictGraph(arch, routing);
+  const int peak = route::PeakCongestion(arch, routing);
+  std::printf("circuit %s: %zu 2-pin nets, peak congestion %d\n",
+              parsed->params.name.c_str(), routing.NumTwoPinNets(), peak);
+  if (opts.width > 0) {
+    const auto result = flow::RouteDetailedOnGraph(conflict, opts.width,
+                                                   ToRouteOptions(opts));
+    std::printf("W=%d: %s in %.3fs\n", opts.width,
+                sat::ToString(result.status), result.TotalSeconds());
+    return result.status == sat::SolveResult::kUnknown ? 1 : 0;
+  }
+  flow::MinWidthOptions mw;
+  mw.route = ToRouteOptions(opts);
+  const auto result = flow::FindMinimumWidthOnGraph(conflict, peak, mw);
+  if (result.min_width < 0) {
+    std::printf("TIMEOUT before establishing W*\n");
+    return 1;
+  }
+  std::printf("W* = %d (optimality %s)\n", result.min_width,
+              result.proven_optimal ? "proven" : "open");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string command = argv[1];
+  const CliOptions opts = ParseArgs(argc, argv);
+  if (command == "benchmarks") return CmdBenchmarks();
+  if (command == "encodings") return CmdEncodings();
+  if (command == "prove") return CmdProve(opts);
+  if (command == "route") return CmdRoute(opts);
+  if (command == "export") return CmdExport(opts);
+  if (command == "solve") return CmdSolve(opts);
+  if (command == "color") return CmdColor(opts);
+  if (command == "route-file") return CmdRouteFile(opts);
+  Usage();
+}
