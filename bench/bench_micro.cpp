@@ -3,12 +3,16 @@
 // extraction, maze routing, and the SAT solver on a fixed instance family.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "encode/csp_to_cnf.h"
 #include "encode/registry.h"
 #include "flow/conflict_graph.h"
+#include "flow/min_width.h"
 #include "netlist/mcnc_suite.h"
 #include "route/global_router.h"
 #include "sat/solver.h"
+#include "symmetry/symmetry.h"
 
 namespace {
 
@@ -79,6 +83,8 @@ BENCHMARK(BM_ConflictGraph);
 void BM_SolverPigeonhole(benchmark::State& state) {
   const int holes = static_cast<int>(state.range(0));
   const int pigeons = holes + 1;
+  std::uint64_t propagations = 0;
+  double solve_seconds = 0.0;
   for (auto _ : state) {
     sat::Solver solver;
     sat::Cnf cnf(pigeons * holes);
@@ -100,9 +106,76 @@ void BM_SolverPigeonhole(benchmark::State& state) {
     }
     solver.AddCnf(cnf);
     benchmark::DoNotOptimize(solver.Solve());
+    propagations += solver.stats().propagations;
+    solve_seconds += solver.stats().solve_seconds;
+  }
+  if (solve_seconds > 0.0) {
+    state.counters["props/s"] =
+        static_cast<double>(propagations) / solve_seconds;
   }
 }
 BENCHMARK(BM_SolverPigeonhole)->Arg(5)->Arg(7);
+
+// Direct-encoded unroutable (W = W*-1) MCNC routing instance: the clause
+// profile the binary-implication layer targets (>95% binary clauses).
+// Building the instance needs a min-width search, so it is cached across
+// benchmark registrations and iterations.
+const encode::EncodedColoring& UnroutableDirectInstance(
+    const std::string& name) {
+  static std::map<std::string, encode::EncodedColoring>* cache =
+      new std::map<std::string, encode::EncodedColoring>();
+  const auto it = cache->find(name);
+  if (it != cache->end()) return it->second;
+
+  const netlist::McncBenchmark bench = netlist::GenerateMcncBenchmark(name);
+  const fpga::Arch arch(bench.params.grid_size);
+  const fpga::DeviceGraph device(arch);
+  const route::GlobalRouting routing =
+      route::RouteGlobally(device, bench.netlist, bench.placement);
+  const graph::Graph conflict = flow::BuildConflictGraph(arch, routing);
+
+  flow::MinWidthOptions options;
+  options.route.encoding = encode::GetEncoding("ITE-linear-2+muldirect");
+  options.route.heuristic = symmetry::Heuristic::kS1;
+  options.route.timeout_seconds = 300.0;
+  const flow::MinWidthResult mw = flow::FindMinimumWidthOnGraph(
+      conflict, route::PeakCongestion(arch, routing), options);
+  const int width = mw.min_width - 1;
+
+  const auto sequence =
+      symmetry::SymmetrySequence(conflict, width, symmetry::Heuristic::kS1);
+  return cache
+      ->emplace(name, encode::EncodeColoring(
+                          conflict, width, encode::GetEncoding("direct"),
+                          sequence))
+      .first->second;
+}
+
+void BM_SolverRoutingUnsat(benchmark::State& state, const std::string& name) {
+  const encode::EncodedColoring& encoded = UnroutableDirectInstance(name);
+  std::uint64_t propagations = 0;
+  std::uint64_t binary_propagations = 0;
+  double solve_seconds = 0.0;
+  for (auto _ : state) {
+    sat::Solver solver;
+    solver.AddCnf(encoded.cnf);
+    benchmark::DoNotOptimize(solver.Solve());
+    propagations += solver.stats().propagations;
+    binary_propagations += solver.stats().binary_propagations;
+    solve_seconds += solver.stats().solve_seconds;
+  }
+  if (solve_seconds > 0.0) {
+    state.counters["props/s"] =
+        static_cast<double>(propagations) / solve_seconds;
+    state.counters["bin_props/s"] =
+        static_cast<double>(binary_propagations) / solve_seconds;
+  }
+}
+BENCHMARK_CAPTURE(BM_SolverRoutingUnsat, alu2_direct_s1, std::string("alu2"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SolverRoutingUnsat, too_large_direct_s1,
+                  std::string("too_large"))
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -43,7 +43,14 @@ void PrintEncoding(const char* encoding_name, bool log_style) {
     line += ")";
     std::printf("%s\n", line.c_str());
   }
-  std::printf("\n");
+  const std::vector<std::size_t> histogram = enc.cnf.ClauseLengthHistogram();
+  std::string profile = "  clause lengths:";
+  for (std::size_t len = 0; len < histogram.size(); ++len) {
+    if (histogram[len] == 0) continue;
+    profile += " " + std::to_string(histogram[len]) + "x" +
+               std::to_string(len);
+  }
+  std::printf("%s\n\n", profile.c_str());
 }
 
 }  // namespace

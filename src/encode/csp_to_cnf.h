@@ -40,6 +40,20 @@ EncodedColoring EncodeColoring(
     const graph::Graph& g, int num_colors, const EncodingSpec& spec,
     const std::vector<graph::VertexId>& symmetry_sequence = {});
 
+/// Fingerprint of the CSP-variable -> SAT-variable numbering produced by
+/// EncodeColoring: covers the color count, the per-vertex indexing-block
+/// width, every value cube, and the symmetry-breaking sequence. Two encoded
+/// instances with equal keys assign identical meaning to every SAT variable
+/// AND impose identical symmetry restrictions, so learnt clauses derived
+/// from one formula are satisfiability-preserving additions to the other
+/// (used by the portfolio's clause exchange; see sat/clause_exchange.h).
+/// Different symmetry sequences MUST yield different keys: clauses learnt
+/// under one symmetry restriction are not implied consequences under
+/// another, and mixing them can turn a colorable instance UNSAT.
+std::uint64_t NumberingKey(
+    const DomainEncoding& domain, int num_colors,
+    const std::vector<graph::VertexId>& symmetry_sequence);
+
 /// Extracts the color of every vertex from a SAT model of `encoded.cnf`.
 /// Entries are in [0, K); -1 signals a malformed model (never for models
 /// produced by a sound solver on a sound encoding).

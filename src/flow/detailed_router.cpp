@@ -29,6 +29,9 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
   sat::Solver solver(options.solver);
   std::vector<sat::Clause> proof;
   if (options.verify_unsat_proof) solver.SetProofLog(&proof);
+  if (options.exchange != nullptr && options.exchange_participant >= 0) {
+    solver.SetClauseExchange(options.exchange, options.exchange_participant);
+  }
   const bool consistent = solver.AddCnf(encoded.cnf);
   result.encode_seconds = encode_watch.Seconds();
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "encode/hierarchical.h"
 #include "sat/walksat.h"
 
 namespace satfr::portfolio {
@@ -67,13 +68,51 @@ std::vector<Strategy> PaperPortfolio3() {
   return strategies;
 }
 
+std::vector<Strategy> DiversifiedPortfolio(int n) {
+  std::vector<Strategy> strategies(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Strategy& s = strategies[static_cast<std::size_t>(i)];
+    s.encoding_name = "ITE-linear-2+muldirect";
+    s.heuristic = symmetry::Heuristic::kS1;
+    if (i == 0) continue;  // member 0: the unmodified paper-best strategy
+    s.solver = (i % 2 == 1) ? sat::SolverOptions::MiniSatLike()
+                            : sat::SolverOptions::SiegeLike();
+    s.solver.seed = 91648253ull +
+                    0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i);
+  }
+  return strategies;
+}
+
 PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
                              int num_tracks,
                              const std::vector<Strategy>& strategies,
-                             double timeout_seconds) {
+                             double timeout_seconds,
+                             const PortfolioOptions& options) {
   PortfolioResult out;
   out.statuses.assign(strategies.size(), sat::SolveResult::kUnknown);
+  out.strategy_stats.assign(strategies.size(), sat::SolverStats{});
   if (strategies.empty()) return out;
+
+  // With sharing on, register every CDCL strategy up front under its
+  // numbering key (encoding + symmetry sequence), so compatibility is
+  // settled before any thread starts. WalkSAT strategies learn nothing and
+  // never join the exchange.
+  sat::ClauseExchange exchange(options.exchange_capacity);
+  std::vector<int> participants(strategies.size(), -1);
+  if (options.share_clauses) {
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      if (strategies[s].use_walksat) continue;
+      const auto sequence = symmetry::SymmetrySequence(
+          conflict_graph, num_tracks, strategies[s].heuristic);
+      const encode::DomainEncoding domain = encode::EncodeDomain(
+          encode::GetEncoding(strategies[s].encoding_name), num_tracks);
+      const std::uint64_t key =
+          encode::NumberingKey(domain, num_tracks, sequence);
+      // Unit-clause compatibility is kept as conservative as full
+      // compatibility for now (same key both ways).
+      participants[s] = exchange.Register(key, key);
+    }
+  }
 
   Stopwatch stopwatch;
   std::atomic<bool> stop{false};
@@ -88,18 +127,24 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
         result = RunWalkSatStrategy(conflict_graph, num_tracks,
                                     strategies[s], timeout_seconds, &stop);
       } else {
-        flow::DetailedRouteOptions options;
-        options.encoding =
+        flow::DetailedRouteOptions route_options;
+        route_options.encoding =
             encode::GetEncoding(strategies[s].encoding_name);
-        options.heuristic = strategies[s].heuristic;
-        options.solver = strategies[s].solver;
-        options.timeout_seconds = timeout_seconds;
-        options.stop = &stop;
+        route_options.heuristic = strategies[s].heuristic;
+        route_options.solver = strategies[s].solver;
+        route_options.solver.share_max_lbd = options.share_max_lbd;
+        route_options.timeout_seconds = timeout_seconds;
+        route_options.stop = &stop;
+        if (participants[s] >= 0) {
+          route_options.exchange = &exchange;
+          route_options.exchange_participant = participants[s];
+        }
         result = flow::RouteDetailedOnGraph(conflict_graph, num_tracks,
-                                            options);
+                                            route_options);
       }
       std::lock_guard<std::mutex> lock(winner_mutex);
       out.statuses[s] = result.status;
+      out.strategy_stats[s] = result.solver_stats;
       if (result.status != sat::SolveResult::kUnknown && out.winner == -1) {
         out.winner = static_cast<int>(s);
         out.result = std::move(result);
@@ -110,6 +155,7 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
   }
   for (std::thread& t : threads) t.join();
   if (out.winner == -1) out.wall_seconds = stopwatch.Seconds();
+  out.exchange_totals = exchange.totals();
   return out;
 }
 

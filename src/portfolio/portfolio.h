@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "flow/detailed_router.h"
+#include "sat/clause_exchange.h"
 
 namespace satfr::portfolio {
 
@@ -35,6 +36,23 @@ std::vector<Strategy> PaperPortfolio2();
 /// ITE-linear-2+direct/s1.
 std::vector<Strategy> PaperPortfolio3();
 
+/// `n` copies of the paper's best single strategy
+/// (ITE-linear-2+muldirect/s1) diversified by solver preset and seed.
+/// Member 0 is the unmodified default. Because every member uses the same
+/// encoding and symmetry heuristic, all of them share one variable
+/// numbering — the configuration where clause sharing bites hardest.
+std::vector<Strategy> DiversifiedPortfolio(int n);
+
+struct PortfolioOptions {
+  /// Exchange unit/low-LBD learnt clauses between CDCL strategies whose
+  /// variable numberings are compatible (see encode::NumberingKey).
+  bool share_clauses = false;
+  /// Learnts with LBD <= this are exported (units always are).
+  std::uint32_t share_max_lbd = 2;
+  /// Bound on the exchange buffer (clauses); oldest entries are evicted.
+  std::size_t exchange_capacity = sat::ClauseExchange::kDefaultCapacity;
+};
+
 struct PortfolioResult {
   /// Index of the winning strategy in the input vector; -1 if every
   /// strategy timed out.
@@ -45,6 +63,11 @@ struct PortfolioResult {
   double wall_seconds = 0.0;
   /// Per-strategy status, for reporting.
   std::vector<sat::SolveResult> statuses;
+  /// Per-strategy solver stats (export/import counters; empty entries for
+  /// WalkSAT strategies).
+  std::vector<sat::SolverStats> strategy_stats;
+  /// Exchange traffic totals (all zero when sharing was disabled).
+  sat::ClauseExchange::Totals exchange_totals;
 };
 
 /// Runs all strategies in parallel on the K-coloring of `conflict_graph`.
@@ -52,6 +75,7 @@ struct PortfolioResult {
 PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
                              int num_tracks,
                              const std::vector<Strategy>& strategies,
-                             double timeout_seconds = 0.0);
+                             double timeout_seconds = 0.0,
+                             const PortfolioOptions& options = {});
 
 }  // namespace satfr::portfolio

@@ -1,0 +1,88 @@
+#include "sat/clause_exchange.h"
+
+#include <algorithm>
+
+namespace satfr::sat {
+
+int ClauseExchange::Register(std::uint64_t full_key, std::uint64_t unit_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = static_cast<int>(members_.size());
+  members_.push_back(Member{full_key, unit_key, next_seq_});
+  return id;
+}
+
+std::uint64_t ClauseExchange::HashClause(const Clause& clause) {
+  Clause sorted = clause;
+  std::sort(sorted.begin(), sorted.end());
+  // FNV-1a over the sorted literal codes: order-insensitive identity.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const Lit l : sorted) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.code()));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void ClauseExchange::Publish(int participant, const Clause& clause) {
+  if (clause.empty()) return;
+  const std::uint64_t hash = HashClause(clause);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (participant < 0 || static_cast<std::size_t>(participant) >= members_.size()) {
+    return;
+  }
+  if (!seen_hashes_.insert(hash).second) {
+    ++totals_.duplicates_dropped;
+    return;
+  }
+  // The dedup set only grows; reset it periodically so a long run cannot
+  // hoard memory. Losing it readmits old clauses, which is harmless —
+  // the importing solver's AddClause absorbs repeats.
+  if (seen_hashes_.size() > capacity_ * 4) {
+    seen_hashes_.clear();
+    seen_hashes_.insert(hash);
+  }
+  const Member& m = members_[static_cast<std::size_t>(participant)];
+  if (entries_.size() == capacity_) {
+    entries_.pop_front();
+    ++totals_.evicted;
+  }
+  entries_.push_back(
+      Entry{clause, participant, m.full_key, m.unit_key, next_seq_++});
+  ++totals_.published;
+}
+
+std::size_t ClauseExchange::Collect(int participant, std::vector<Clause>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (participant < 0 || static_cast<std::size_t>(participant) >= members_.size()) {
+    return 0;
+  }
+  Member& m = members_[static_cast<std::size_t>(participant)];
+  std::size_t appended = 0;
+  if (!entries_.empty() && next_seq_ > m.cursor) {
+    // Sequence numbers are contiguous; the deque's front entry holds the
+    // oldest one still buffered.
+    const std::uint64_t front_seq = entries_.front().seq;
+    std::size_t i = m.cursor > front_seq
+                        ? static_cast<std::size_t>(m.cursor - front_seq)
+                        : 0;
+    for (; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (e.source == participant) continue;
+      const bool full_match = e.full_key == m.full_key;
+      const bool unit_match = e.lits.size() == 1 && e.unit_key == m.unit_key;
+      if (!full_match && !unit_match) continue;
+      out->push_back(e.lits);
+      ++appended;
+    }
+  }
+  m.cursor = next_seq_;
+  totals_.collected += appended;
+  return appended;
+}
+
+ClauseExchange::Totals ClauseExchange::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+}  // namespace satfr::sat

@@ -1,0 +1,100 @@
+#ifndef SATFR_SAT_CLAUSE_EXCHANGE_H_
+#define SATFR_SAT_CLAUSE_EXCHANGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace satfr::sat {
+
+// Bounded, mutex-guarded learnt-clause exchange for portfolio solving.
+//
+// Each participating solver registers once and receives a participant id.
+// Registration carries two numbering keys describing how the participant's
+// SAT variables map onto the underlying CSP:
+//
+//   * full_key — hash of the complete variable numbering (domain encoding,
+//     color count, per-value cubes, symmetry-breaking sequence). Two
+//     participants with equal full keys interpret every variable, and hence
+//     every clause, identically: arbitrary clauses flow between them.
+//   * unit_key — hash of the subset of the numbering that fixes the meaning
+//     of single variables (same ingredients today; kept separate so a
+//     future encoding can widen unit-only compatibility). Participants that
+//     agree only on unit_key exchange unit clauses alone.
+//
+// Clauses whose keys match neither way are invisible to the collector, so
+// strategies with incompatible numberings (different symmetry sequences,
+// different domain encodings) can safely coexist in one exchange.
+//
+// Publish appends to a bounded FIFO (oldest entries evicted) and drops
+// exact duplicates via a hash of the sorted literal codes. Collect returns
+// every compatible clause published since the caller's previous Collect,
+// excluding the caller's own publications.
+//
+// All public methods are thread-safe; callers hold no lock across calls.
+class ClauseExchange {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 14;
+
+  struct Totals {
+    std::uint64_t published = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t collected = 0;
+  };
+
+  explicit ClauseExchange(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  ClauseExchange(const ClauseExchange&) = delete;
+  ClauseExchange& operator=(const ClauseExchange&) = delete;
+
+  // Registers a participant with its numbering keys; returns its id.
+  int Register(std::uint64_t full_key, std::uint64_t unit_key);
+
+  // Offers a learnt clause to the other participants. The caller is
+  // responsible for filtering (units / low-LBD) before publishing.
+  void Publish(int participant, const Clause& clause);
+
+  // Appends to *out every clause published since this participant's last
+  // Collect that it is compatible with (and did not publish itself).
+  // Returns the number of clauses appended.
+  std::size_t Collect(int participant, std::vector<Clause>* out);
+
+  std::size_t capacity() const { return capacity_; }
+  Totals totals() const;
+
+ private:
+  struct Entry {
+    Clause lits;
+    int source;
+    std::uint64_t full_key;
+    std::uint64_t unit_key;
+    std::uint64_t seq;
+  };
+
+  struct Member {
+    std::uint64_t full_key;
+    std::uint64_t unit_key;
+    std::uint64_t cursor;  // first sequence number not yet collected
+  };
+
+  static std::uint64_t HashClause(const Clause& clause);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::vector<Member> members_;
+  std::unordered_set<std::uint64_t> seen_hashes_;
+  std::uint64_t next_seq_ = 0;
+  Totals totals_;
+};
+
+}  // namespace satfr::sat
+
+#endif  // SATFR_SAT_CLAUSE_EXCHANGE_H_

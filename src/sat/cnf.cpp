@@ -33,6 +33,23 @@ std::size_t Cnf::num_literals() const {
   return total;
 }
 
+std::size_t Cnf::NumClausesOfSize(std::size_t length) const {
+  std::size_t count = 0;
+  for (const Clause& clause : clauses_) count += clause.size() == length;
+  return count;
+}
+
+std::vector<std::size_t> Cnf::ClauseLengthHistogram() const {
+  std::vector<std::size_t> histogram;
+  for (const Clause& clause : clauses_) {
+    if (clause.size() >= histogram.size()) {
+      histogram.resize(clause.size() + 1, 0);
+    }
+    ++histogram[clause.size()];
+  }
+  return histogram;
+}
+
 std::size_t Cnf::NormalizeClauses() {
   const std::size_t before = clauses_.size();
   std::set<Clause> unique;

@@ -54,6 +54,18 @@ class Cnf {
   /// Total literal count across clauses.
   std::size_t num_literals() const;
 
+  /// Number of clauses with exactly `length` literals.
+  std::size_t NumClausesOfSize(std::size_t length) const;
+
+  /// Histogram of clause lengths: entry [k] counts clauses of length k.
+  /// The vector has one entry past the longest clause (empty CNF -> empty).
+  std::vector<std::size_t> ClauseLengthHistogram() const;
+
+  /// Convenience accessors for the lengths that dominate routing CNFs.
+  std::size_t num_unit() const { return NumClausesOfSize(1); }
+  std::size_t num_binary() const { return NumClausesOfSize(2); }
+  std::size_t num_ternary() const { return NumClausesOfSize(3); }
+
   /// Sorts literals in each clause, drops duplicate literals, removes
   /// tautological clauses (x or ~x), and dedups identical clauses.
   /// Returns the number of clauses removed.

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "sat/clause_exchange.h"
+
 namespace satfr::sat {
 
 const char* ToString(SolveResult result) {
@@ -129,6 +131,8 @@ Var Solver::NewVar() {
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  binary_watches_.emplace_back();
+  binary_watches_.emplace_back();
   order_.Grow(num_vars());
   order_.Insert(v);
   return v;
@@ -137,6 +141,7 @@ Var Solver::NewVar() {
 Solver::ClauseRef Solver::AllocClause(const Clause& lits, bool learnt) {
   const std::uint32_t extra = learnt ? 3u : 1u;
   const ClauseRef cref = static_cast<ClauseRef>(arena_.size());
+  assert(cref < kBinaryReasonBit && "arena exceeds the reason tag space");
   arena_.resize(arena_.size() + extra + lits.size());
   ClauseView c = View(cref);
   *c.header = (static_cast<std::uint32_t>(lits.size()) << 3) | (learnt ? 1u : 0u);
@@ -158,7 +163,7 @@ void Solver::FreeClause(ClauseRef cref) {
 
 void Solver::AttachClause(ClauseRef cref) {
   ClauseView c = View(cref);
-  assert(c.size() >= 2);
+  assert(c.size() >= 3);
   watches_[static_cast<std::size_t>((~c[0]).code())].push_back(
       Watcher{cref, c[1]});
   watches_[static_cast<std::size_t>((~c[1]).code())].push_back(
@@ -177,6 +182,12 @@ void Solver::DetachClause(ClauseRef cref) {
       }
     }
   }
+}
+
+void Solver::AttachBinary(Lit a, Lit b) {
+  binary_watches_[static_cast<std::size_t>((~a).code())].push_back(b);
+  binary_watches_[static_cast<std::size_t>((~b).code())].push_back(a);
+  ++num_binary_clauses_;
 }
 
 bool Solver::Locked(ClauseRef cref) {
@@ -229,6 +240,10 @@ bool Solver::AddClause(Clause clause) {
     if (!ok_ && proof_log_) proof_log_->push_back(Clause{});
     return ok_;
   }
+  if (simplified.size() == 2) {
+    AttachBinary(simplified[0], simplified[1]);
+    return true;
+  }
   const ClauseRef cref = AllocClause(simplified, /*learnt=*/false);
   clauses_.push_back(cref);
   AttachClause(cref);
@@ -255,8 +270,32 @@ void Solver::UncheckedEnqueue(Lit p, ClauseRef from) {
 Solver::ClauseRef Solver::Propagate() {
   ClauseRef conflict = kNoClause;
   while (qhead_ < trail_.size()) {
+    // Binary fast path, drained to fixpoint before any long clause is
+    // touched: the implied literal is stored inline, so the whole pass
+    // dereferences no clause memory and never edits a watch list, and a
+    // conflict reachable through binaries alone skips the long scans of
+    // every literal enqueued along the way.
+    while (qhead_bin_ < trail_.size()) {
+      const Lit bp = trail_[qhead_bin_++];
+      ++stats_.propagations;
+      const std::vector<Lit>& implied =
+          binary_watches_[static_cast<std::size_t>(bp.code())];
+      for (const Lit q : implied) {
+        const LBool value = Value(q);
+        if (value == LBool::kTrue) continue;
+        if (value == LBool::kFalse) {
+          binary_conflict_[0] = q;
+          binary_conflict_[1] = ~bp;
+          qhead_bin_ = qhead_ = trail_.size();
+          return kBinaryConflict;
+        }
+        ++stats_.binary_propagations;
+        UncheckedEnqueue(q, BinaryReason(~bp));
+      }
+    }
+    // Every literal passes through the binary queue first, so the
+    // propagation counter above has already seen p.
     const Lit p = trail_[qhead_++];
-    ++stats_.propagations;
     auto& watch_list = watches_[static_cast<std::size_t>(p.code())];
     std::size_t keep = 0;
     std::size_t i = 0;
@@ -296,7 +335,7 @@ Solver::ClauseRef Solver::Propagate() {
       watch_list[keep++] = Watcher{w.cref, first};
       if (Value(first) == LBool::kFalse) {
         conflict = w.cref;
-        qhead_ = trail_.size();
+        qhead_bin_ = qhead_ = trail_.size();
         for (++i; i < watch_list.size(); ++i) {
           watch_list[keep++] = watch_list[i];
         }
@@ -340,10 +379,30 @@ void Solver::Analyze(ClauseRef confl, Clause& out_learnt, int& out_btlevel,
 
   do {
     assert(confl != kNoClause);
-    ClauseView c = View(confl);
-    if (c.learnt()) BumpClauseActivity(c);
-    for (std::uint32_t j = (p == kUndefLit) ? 0 : 1; j < c.size(); ++j) {
-      const Lit q = c[j];
+    // Fetch the literals of the conflict/reason. Binary reasons are packed
+    // literals (the implied literal is p itself); the binary conflict's two
+    // literals live in binary_conflict_. Neither touches the arena.
+    Lit bin_lits[2];
+    const Lit* lits;
+    std::uint32_t size;
+    if (confl == kBinaryConflict) {
+      bin_lits[0] = binary_conflict_[0];
+      bin_lits[1] = binary_conflict_[1];
+      lits = bin_lits;
+      size = 2;
+    } else if (IsBinaryReason(confl)) {
+      bin_lits[0] = p;
+      bin_lits[1] = BinaryReasonLit(confl);
+      lits = bin_lits;
+      size = 2;
+    } else {
+      ClauseView c = View(confl);
+      if (c.learnt()) BumpClauseActivity(c);
+      lits = c.lits();
+      size = c.size();
+    }
+    for (std::uint32_t j = (p == kUndefLit) ? 0 : 1; j < size; ++j) {
+      const Lit q = lits[j];
       const std::size_t v = static_cast<std::size_t>(q.var());
       if (!seen_[v] && LevelOf(q.var()) > 0) {
         BumpVarActivity(q.var());
@@ -413,9 +472,21 @@ bool Solver::LitRedundant(Lit p, std::uint32_t abstract_levels) {
     analyze_stack_.pop_back();
     const ClauseRef cref = reason_[static_cast<std::size_t>(l.var())];
     assert(cref != kNoClause);
-    ClauseView c = View(cref);
-    for (std::uint32_t i = 1; i < c.size(); ++i) {
-      const Lit q = c[i];
+    // The literals of the reason besides the implied one.
+    Lit bin_other;
+    const Lit* others;
+    std::uint32_t count;
+    if (IsBinaryReason(cref)) {
+      bin_other = BinaryReasonLit(cref);
+      others = &bin_other;
+      count = 1;
+    } else {
+      ClauseView c = View(cref);
+      others = c.lits() + 1;
+      count = c.size() - 1;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Lit q = others[i];
       const std::size_t v = static_cast<std::size_t>(q.var());
       if (!seen_[v] && LevelOf(q.var()) > 0) {
         if (reason_[v] != kNoClause &&
@@ -469,6 +540,7 @@ void Solver::Backtrack(int target_level) {
     if (!order_.Contains(p.var())) order_.Insert(p.var());
   }
   qhead_ = static_cast<std::size_t>(boundary);
+  qhead_bin_ = static_cast<std::size_t>(boundary);
   trail_.resize(static_cast<std::size_t>(boundary));
   trail_lim_.resize(static_cast<std::size_t>(target_level));
 }
@@ -513,6 +585,33 @@ void Solver::RemoveSatisfied(std::vector<ClauseRef>& list) {
   list.resize(keep);
 }
 
+void Solver::RemoveSatisfiedBinaries() {
+  // The list at code(p) is consulted when p is assigned true and holds the
+  // q of every clause (~p \/ q). Such a clause is dead at level 0 once p is
+  // false (~p satisfied) or q is true; each clause occupies one entry in
+  // each of its two lists, so both entries vanish under the same test.
+  std::uint64_t removed_entries = 0;
+  for (std::size_t code = 0; code < binary_watches_.size(); ++code) {
+    auto& list = binary_watches_[code];
+    if (list.empty()) continue;
+    const Lit p = Lit::Make(static_cast<Var>(code >> 1), (code & 1) != 0);
+    if (Value(p) == LBool::kFalse) {
+      removed_entries += list.size();
+      list.clear();
+      continue;
+    }
+    std::size_t keep = 0;
+    for (const Lit q : list) {
+      if (Value(q) != LBool::kTrue) list[keep++] = q;
+    }
+    removed_entries += list.size() - keep;
+    list.resize(keep);
+  }
+  const std::uint64_t removed_clauses = removed_entries / 2;
+  num_binary_clauses_ -= removed_clauses;
+  stats_.removed += removed_clauses;
+}
+
 void Solver::SimplifyAtLevelZero() {
   assert(DecisionLevel() == 0);
   if (!ok_) return;
@@ -523,16 +622,19 @@ void Solver::SimplifyAtLevelZero() {
   simplify_trail_size_ = static_cast<std::int64_t>(trail_.size());
   RemoveSatisfied(learnts_);
   RemoveSatisfied(clauses_);
+  RemoveSatisfiedBinaries();
   CollectGarbageIfNeeded();
 }
 
 void Solver::ReduceDb() {
-  // Order learnts worst-first: high LBD, then low activity.
+  // Order learnts worst-first: high LBD, then low activity. Binary learnts
+  // never reach the arena (they live in the implication layer and are kept
+  // forever), so every candidate here has >= 3 literals.
   std::vector<ClauseRef> candidates;
   candidates.reserve(learnts_.size());
   for (const ClauseRef cref : learnts_) {
     ClauseView c = View(cref);
-    if (c.size() > 2 && c.Lbd() > 2 && !Locked(cref)) {
+    if (c.Lbd() > 2 && !Locked(cref)) {
       candidates.push_back(cref);
     }
   }
@@ -578,10 +680,11 @@ void Solver::CollectGarbageIfNeeded() {
   };
   for (ClauseRef& cref : clauses_) cref = relocate(cref);
   for (ClauseRef& cref : learnts_) cref = relocate(cref);
-  // Remap reasons of currently assigned variables.
+  // Remap reasons of currently assigned variables. Binary reasons are
+  // packed literals, not arena references — they survive GC untouched.
   for (const Lit p : trail_) {
     ClauseRef& r = reason_[static_cast<std::size_t>(p.var())];
-    if (r != kNoClause) {
+    if (r != kNoClause && !IsBinaryReason(r)) {
       const std::uint32_t header = arena_[r];
       assert((header & 4u) != 0 && "reason clause must be live");
       r = header >> 3;
@@ -589,10 +692,41 @@ void Solver::CollectGarbageIfNeeded() {
   }
   arena_ = std::move(new_arena);
   wasted_words_ = 0;
-  // Rebuild all watch lists from scratch.
+  // Rebuild all watch lists from scratch (the binary layer is unaffected).
   for (auto& list : watches_) list.clear();
   for (const ClauseRef cref : clauses_) AttachClause(cref);
   for (const ClauseRef cref : learnts_) AttachClause(cref);
+}
+
+void Solver::ExportLearnt(const Clause& learnt, std::uint32_t lbd) {
+  if (!exchange_) return;
+  if (learnt.size() > 2 && lbd > options_.share_max_lbd) return;
+  exchange_->Publish(exchange_participant_, learnt);
+  ++stats_.exported_clauses;
+}
+
+std::size_t Solver::ImportClauses() {
+  // Imports splice foreign derivations into the database, which a local
+  // RUP log cannot justify — skip them whenever a proof is being recorded.
+  if (!exchange_ || !ok_ || proof_log_) return 0;
+  assert(DecisionLevel() == 0);
+  import_buffer_.clear();
+  exchange_->Collect(exchange_participant_, &import_buffer_);
+  std::size_t imported = 0;
+  for (const Clause& clause : import_buffer_) {
+    bool in_range = true;
+    for (const Lit l : clause) {
+      if (!l.IsValid() || l.var() >= num_vars()) {
+        in_range = false;
+        break;
+      }
+    }
+    if (!in_range) continue;
+    ++imported;
+    if (!AddClause(clause)) break;  // the exchange refuted the formula
+  }
+  stats_.imported_clauses += imported;
+  return imported;
 }
 
 double Solver::Luby(double y, int i) {
@@ -628,9 +762,15 @@ LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
       std::uint32_t lbd = 0;
       Analyze(confl, learnt, backtrack_level, lbd);
       if (proof_log_) proof_log_->push_back(learnt);
+      ExportLearnt(learnt, lbd);
       Backtrack(backtrack_level);
       if (learnt.size() == 1) {
         UncheckedEnqueue(learnt[0], kNoClause);
+      } else if (learnt.size() == 2) {
+        // Binary learnts go straight to the implication layer: no arena
+        // slot, no activity/LBD bookkeeping, never deleted.
+        AttachBinary(learnt[0], learnt[1]);
+        UncheckedEnqueue(learnt[0], BinaryReason(learnt[1]));
       } else {
         const ClauseRef cref = AllocClause(learnt, /*learnt=*/true);
         View(cref).Lbd() = lbd;
@@ -704,11 +844,21 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
   if (!ok_) return SolveResult::kUnsat;
 
   max_learnts_ =
-      std::max(1000.0, static_cast<double>(clauses_.size()) *
+      std::max(1000.0, static_cast<double>(clauses_.size() +
+                                           num_binary_clauses_) *
                            options_.learnt_size_factor);
   LBool status = LBool::kUndef;
   int restarts = 0;
   while (status == LBool::kUndef && !budget_exhausted_) {
+    // Restart boundary: the solver is at level 0, so shared clauses can be
+    // spliced into the database before the next descent.
+    if (exchange_ != nullptr) {
+      ImportClauses();
+      if (!ok_) {
+        status = LBool::kFalse;
+        break;
+      }
+    }
     const double base =
         options_.luby_restarts
             ? Luby(2.0, restarts)

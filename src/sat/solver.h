@@ -7,12 +7,24 @@
 // saving, Luby or geometric restarts, activity/LBD-driven learnt-clause
 // deletion, and arena garbage collection.
 //
+// Binary clauses get a dedicated implication layer: routing CNFs are
+// dominated by 2-literal exclusivity clauses (one per conflicting track
+// pair), so 2-literal clauses never enter the arena. Instead each literal
+// keeps a flat list of the literals it implies, consulted before the general
+// watch lists in Propagate — a whole binary pass touches no clause memory.
+// The reason for a binary implication is the packed other literal (see
+// kBinaryReasonBit), not a clause reference, and binary learnts are
+// permanent (exempt from LBD-driven deletion).
+//
 // Two option presets mirror the paper's two solvers:
 //   SolverOptions::SiegeLike()   — tuned for refutation (UNSAT) throughput,
 //   SolverOptions::MiniSatLike() — the classic MiniSat 1.14-era defaults.
 //
 // Solving is cooperative: a Deadline and/or an std::atomic<bool> stop flag
 // (used by the portfolio runner) abort the search with SolveResult::kUnknown.
+// A solver can additionally be wired to a ClauseExchange (SetClauseExchange):
+// it then exports units and low-LBD learnts after every conflict and imports
+// pending shared clauses at restart boundaries (ImportClauses).
 #pragma once
 
 #include <atomic>
@@ -26,6 +38,8 @@
 #include "sat/types.h"
 
 namespace satfr::sat {
+
+class ClauseExchange;
 
 enum class SolveResult { kSat, kUnsat, kUnknown };
 
@@ -51,6 +65,9 @@ struct SolverOptions {
   // and grows by learnt_size_inc at every reduction.
   double learnt_size_factor = 1.0 / 3.0;
   double learnt_size_inc = 1.15;
+  // Clause sharing (only when a ClauseExchange is attached): learnts with
+  // LBD <= share_max_lbd are exported; units and binaries always qualify.
+  std::uint32_t share_max_lbd = 2;
   // Seed for random decisions / polarities.
   std::uint64_t seed = 91648253;
 
@@ -65,12 +82,22 @@ struct SolverStats {
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
+  std::uint64_t binary_propagations = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned = 0;
   std::uint64_t removed = 0;
   std::uint64_t minimized_literals = 0;
   std::uint64_t gc_runs = 0;
+  std::uint64_t exported_clauses = 0;
+  std::uint64_t imported_clauses = 0;
   double solve_seconds = 0.0;
+
+  /// Assignments propagated per second of solving (0 before any solve).
+  double PropagationsPerSecond() const {
+    return solve_seconds > 0.0
+               ? static_cast<double>(propagations) / solve_seconds
+               : 0.0;
+  }
 };
 
 class Solver {
@@ -127,9 +154,46 @@ class Solver {
   /// detach. Logging is off by default (it retains every learned clause).
   void SetProofLog(std::vector<Clause>* log) { proof_log_ = log; }
 
+  /// Connects this solver to a portfolio clause-exchange buffer as the
+  /// member registered under `participant`. Once connected, the solver
+  /// exports units and learnts with LBD <= options.share_max_lbd after each
+  /// conflict and imports pending shared clauses at restart boundaries.
+  /// Pass nullptr to disconnect. Clauses imported while a proof log is
+  /// attached would break the RUP derivation chain, so imports are
+  /// suppressed whenever SetProofLog is active.
+  void SetClauseExchange(ClauseExchange* exchange, int participant) {
+    exchange_ = exchange;
+    exchange_participant_ = participant;
+  }
+
+  /// Imports every pending shared clause from the attached exchange into
+  /// the level-0 clause database. Called automatically at restart
+  /// boundaries; safe to call between solves. Returns the number of
+  /// clauses taken from the exchange (okay() turns false if an import
+  /// refutes the formula).
+  std::size_t ImportClauses();
+
  private:
   using ClauseRef = std::uint32_t;
   static constexpr ClauseRef kNoClause = 0xFFFFFFFFu;
+  // Sentinel returned by Propagate when the conflicting clause lives in the
+  // binary layer (its two literals are in binary_conflict_, not the arena).
+  static constexpr ClauseRef kBinaryConflict = 0xFFFFFFFEu;
+  // Reasons with this bit set are packed binary reasons: the low 31 bits
+  // are the code of the *other* (false) literal of the implying binary
+  // clause. Arena references stay below the bit (checked in AllocClause).
+  static constexpr ClauseRef kBinaryReasonBit = 0x80000000u;
+
+  static ClauseRef BinaryReason(Lit other) {
+    return kBinaryReasonBit | static_cast<ClauseRef>(other.code());
+  }
+  static bool IsBinaryReason(ClauseRef r) {
+    return r != kNoClause && (r & kBinaryReasonBit) != 0;
+  }
+  static Lit BinaryReasonLit(ClauseRef r) {
+    const int code = static_cast<int>(r & ~kBinaryReasonBit);
+    return Lit::Make(code >> 1, (code & 1) != 0);
+  }
 
   // Arena clause layout (32-bit words):
   //   word0: size << 3 | learnt(1) | deleted(2) | relocated(4)
@@ -195,6 +259,7 @@ class Solver {
   void FreeClause(ClauseRef cref);
   void AttachClause(ClauseRef cref);
   void DetachClause(ClauseRef cref);
+  void AttachBinary(Lit a, Lit b);
   bool Locked(ClauseRef cref);
   void RemoveClause(ClauseRef cref);
 
@@ -219,9 +284,11 @@ class Solver {
 
   void ReduceDb();
   void RemoveSatisfied(std::vector<ClauseRef>& list);
+  void RemoveSatisfiedBinaries();
   void SimplifyAtLevelZero();
   void CollectGarbageIfNeeded();
   std::uint32_t ComputeLbd(const Clause& lits);
+  void ExportLearnt(const Clause& learnt, std::uint32_t lbd);
 
   // Returns kTrue (model found), kFalse (UNSAT), or kUndef (restart or
   // budget exhausted; check budget_exhausted_).
@@ -241,6 +308,14 @@ class Solver {
   std::vector<ClauseRef> learnts_;
 
   std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+  // Binary-implication layer: binary_watches_[p.code()] holds every literal
+  // q with a clause (~p \/ q) — i.e. the literals implied the moment p is
+  // assigned true. The implied literal is stored inline, so binary
+  // propagation never dereferences the arena.
+  std::vector<std::vector<Lit>> binary_watches_;
+  std::uint64_t num_binary_clauses_ = 0;
+  Lit binary_conflict_[2] = {kUndefLit, kUndefLit};
+
   std::vector<LBool> assigns_;
   std::vector<bool> saved_phase_;
   std::vector<int> level_;
@@ -250,7 +325,8 @@ class Solver {
 
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;
-  std::size_t qhead_ = 0;
+  std::size_t qhead_ = 0;      // next trail index for long-clause watches
+  std::size_t qhead_bin_ = 0;  // next trail index for the binary layer
 
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;
@@ -260,6 +336,10 @@ class Solver {
   std::vector<Clause>* proof_log_ = nullptr;
   std::vector<Lit> assumptions_;
   bool conflict_under_assumptions_ = false;
+
+  ClauseExchange* exchange_ = nullptr;
+  int exchange_participant_ = -1;
+  std::vector<Clause> import_buffer_;
 
   // Scratch for Analyze.
   std::vector<char> seen_;

@@ -76,21 +76,19 @@ using Clause = std::vector<Lit>;
 /// Three-valued assignment state.
 enum class LBool : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
 
-/// Negation that keeps kUndef fixed.
+/// Negation that keeps kUndef fixed. Branchless: flips the low bit for
+/// kTrue/kFalse, leaves kUndef (bit 1 set) alone.
 constexpr LBool Negate(LBool b) {
-  switch (b) {
-    case LBool::kTrue:
-      return LBool::kFalse;
-    case LBool::kFalse:
-      return LBool::kTrue;
-    default:
-      return LBool::kUndef;
-  }
+  const auto u = static_cast<std::uint8_t>(b);
+  return static_cast<LBool>(u ^ (~(u >> 1) & 1u));
 }
 
-/// Value of a literal under a variable assignment.
+/// Value of a literal under a variable assignment (branchless; hot path of
+/// unit propagation).
 constexpr LBool LitValue(Lit l, LBool var_value) {
-  return l.negated() ? Negate(var_value) : var_value;
+  const auto u = static_cast<std::uint8_t>(var_value);
+  const auto sign = static_cast<std::uint8_t>(l.negated() ? 1u : 0u);
+  return static_cast<LBool>(u ^ (sign & ~(u >> 1) & 1u));
 }
 
 }  // namespace satfr::sat

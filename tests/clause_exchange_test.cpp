@@ -1,0 +1,150 @@
+#include "sat/clause_exchange.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace satfr::sat {
+namespace {
+
+Clause C(std::initializer_list<int> dimacs) {
+  Clause clause;
+  for (const int l : dimacs) {
+    clause.push_back(l > 0 ? Lit::Pos(l - 1) : Lit::Neg(-l - 1));
+  }
+  return clause;
+}
+
+TEST(ClauseExchangeTest, RegisterAssignsSequentialIds) {
+  ClauseExchange exchange;
+  EXPECT_EQ(exchange.Register(1, 1), 0);
+  EXPECT_EQ(exchange.Register(1, 1), 1);
+  EXPECT_EQ(exchange.Register(2, 2), 2);
+}
+
+TEST(ClauseExchangeTest, NoSelfImport) {
+  ClauseExchange exchange;
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+  exchange.Publish(a, C({1, 2}));
+  std::vector<Clause> got;
+  EXPECT_EQ(exchange.Collect(a, &got), 0u);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(exchange.Collect(b, &got), 1u);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], C({1, 2}));
+}
+
+TEST(ClauseExchangeTest, CursorOnlyReturnsNewClauses) {
+  ClauseExchange exchange;
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+  exchange.Publish(a, C({1}));
+  std::vector<Clause> got;
+  EXPECT_EQ(exchange.Collect(b, &got), 1u);
+  EXPECT_EQ(exchange.Collect(b, &got), 0u);  // already seen
+  exchange.Publish(a, C({2}));
+  EXPECT_EQ(exchange.Collect(b, &got), 1u);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1], C({2}));
+}
+
+TEST(ClauseExchangeTest, FullKeyMismatchBlocksNonUnits) {
+  ClauseExchange exchange;
+  const int a = exchange.Register(/*full_key=*/1, /*unit_key=*/9);
+  const int b = exchange.Register(/*full_key=*/2, /*unit_key=*/9);
+  exchange.Publish(a, C({1, 2}));  // non-unit: needs full compatibility
+  exchange.Publish(a, C({3}));     // unit: needs only unit compatibility
+  std::vector<Clause> got;
+  EXPECT_EQ(exchange.Collect(b, &got), 1u);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], C({3}));
+}
+
+TEST(ClauseExchangeTest, IncompatibleKeysExchangeNothing) {
+  ClauseExchange exchange;
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(2, 2);
+  exchange.Publish(a, C({1, 2}));
+  exchange.Publish(a, C({3}));
+  std::vector<Clause> got;
+  EXPECT_EQ(exchange.Collect(b, &got), 0u);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(ClauseExchangeTest, DuplicatesAreDropped) {
+  ClauseExchange exchange;
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+  exchange.Publish(a, C({1, 2}));
+  exchange.Publish(b, C({2, 1}));  // same clause, different literal order
+  std::vector<Clause> got;
+  EXPECT_EQ(exchange.Collect(b, &got), 1u);
+  EXPECT_EQ(exchange.totals().duplicates_dropped, 1u);
+}
+
+TEST(ClauseExchangeTest, CapacityEvictsOldest) {
+  ClauseExchange exchange(/*capacity=*/2);
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+  exchange.Publish(a, C({1}));
+  exchange.Publish(a, C({2}));
+  exchange.Publish(a, C({3}));  // evicts {1}
+  std::vector<Clause> got;
+  EXPECT_EQ(exchange.Collect(b, &got), 2u);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], C({2}));
+  EXPECT_EQ(got[1], C({3}));
+  EXPECT_EQ(exchange.totals().evicted, 1u);
+}
+
+TEST(ClauseExchangeTest, EmptyClauseIgnored) {
+  ClauseExchange exchange;
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+  exchange.Publish(a, Clause{});
+  std::vector<Clause> got;
+  EXPECT_EQ(exchange.Collect(b, &got), 0u);
+  EXPECT_EQ(exchange.totals().published, 0u);
+}
+
+TEST(ClauseExchangeTest, TotalsTrackTraffic) {
+  ClauseExchange exchange;
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+  exchange.Publish(a, C({1, 2}));
+  exchange.Publish(b, C({-1, 3}));
+  std::vector<Clause> got;
+  exchange.Collect(a, &got);
+  exchange.Collect(b, &got);
+  const ClauseExchange::Totals totals = exchange.totals();
+  EXPECT_EQ(totals.published, 2u);
+  EXPECT_EQ(totals.collected, 2u);
+}
+
+TEST(ClauseExchangeTest, ConcurrentPublishCollectIsSafe) {
+  // Smoke test for the lock discipline (amplified by the TSan CI job):
+  // several publishers and collectors hammer one exchange.
+  ClauseExchange exchange(/*capacity=*/64);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 500;
+  std::vector<int> ids;
+  ids.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) ids.push_back(exchange.Register(1, 1));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&exchange, &ids, t] {
+      std::vector<Clause> got;
+      for (int r = 0; r < kRounds; ++r) {
+        exchange.Publish(ids[static_cast<std::size_t>(t)],
+                         C({t * kRounds + r + 1}));
+        exchange.Collect(ids[static_cast<std::size_t>(t)], &got);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(exchange.totals().published, 1u * kThreads * kRounds);
+}
+
+}  // namespace
+}  // namespace satfr::sat

@@ -76,6 +76,28 @@ TEST(CnfTest, AppendShiftsVariables) {
   EXPECT_EQ(a.clauses()[1][0], Lit::Pos(3));
 }
 
+TEST(CnfTest, ClauseLengthHistogram) {
+  Cnf cnf(4);
+  EXPECT_TRUE(cnf.ClauseLengthHistogram().empty());
+  cnf.AddUnit(Lit::Pos(0));
+  cnf.AddBinary(Lit::Pos(0), Lit::Neg(1));
+  cnf.AddBinary(Lit::Pos(2), Lit::Pos(3));
+  cnf.AddTernary(Lit::Pos(0), Lit::Pos(1), Lit::Pos(2));
+  cnf.AddClause({Lit::Pos(0), Lit::Pos(1), Lit::Pos(2), Lit::Pos(3)});
+  const std::vector<std::size_t> histogram = cnf.ClauseLengthHistogram();
+  ASSERT_EQ(histogram.size(), 5u);
+  EXPECT_EQ(histogram[0], 0u);
+  EXPECT_EQ(histogram[1], 1u);
+  EXPECT_EQ(histogram[2], 2u);
+  EXPECT_EQ(histogram[3], 1u);
+  EXPECT_EQ(histogram[4], 1u);
+  EXPECT_EQ(cnf.num_unit(), 1u);
+  EXPECT_EQ(cnf.num_binary(), 2u);
+  EXPECT_EQ(cnf.num_ternary(), 1u);
+  EXPECT_EQ(cnf.NumClausesOfSize(4), 1u);
+  EXPECT_EQ(cnf.NumClausesOfSize(9), 0u);
+}
+
 TEST(CnfTest, ToStringHasHeaderAndClauses) {
   Cnf cnf(2);
   cnf.AddBinary(Lit::Pos(0), Lit::Neg(1));

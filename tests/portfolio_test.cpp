@@ -134,6 +134,68 @@ TEST(PortfolioTest, WalkSatNeverWinsUnsatRaces) {
   EXPECT_EQ(result.result.status, sat::SolveResult::kUnsat);
 }
 
+TEST(PortfolioTest, DiversifiedPortfolioIsWellFormed) {
+  const auto strategies = DiversifiedPortfolio(4);
+  ASSERT_EQ(strategies.size(), 4u);
+  const sat::SolverOptions defaults = sat::SolverOptions::SiegeLike();
+  EXPECT_EQ(strategies[0].solver.seed, defaults.seed);
+  for (const Strategy& s : strategies) {
+    EXPECT_EQ(s.encoding_name, "ITE-linear-2+muldirect");
+    EXPECT_EQ(s.heuristic, symmetry::Heuristic::kS1);
+    EXPECT_FALSE(s.use_walksat);
+  }
+  // Diversified members must differ from each other in seed.
+  for (std::size_t i = 1; i < strategies.size(); ++i) {
+    for (std::size_t j = i + 1; j < strategies.size(); ++j) {
+      EXPECT_NE(strategies[i].solver.seed, strategies[j].solver.seed);
+    }
+  }
+}
+
+TEST(PortfolioTest, SharingNeverChangesAnswers) {
+  // The soundness property of the clause exchange: on the same instance, a
+  // sharing portfolio must reach the same SAT/UNSAT verdict as a
+  // non-sharing one. Random graphs on both sides of the threshold.
+  Rng rng(20260806);
+  for (int round = 0; round < 12; ++round) {
+    const graph::Graph g =
+        testutil::RandomGraph(rng, 14, /*edge_probability=*/0.45);
+    const int k = 3 + static_cast<int>(rng.NextBelow(3));
+    PortfolioOptions sharing;
+    sharing.share_clauses = true;
+    const PortfolioResult with = RunPortfolio(
+        g, k, DiversifiedPortfolio(3), /*timeout_seconds=*/0.0, sharing);
+    const PortfolioResult without =
+        RunPortfolio(g, k, DiversifiedPortfolio(3));
+    ASSERT_GE(with.winner, 0);
+    ASSERT_GE(without.winner, 0);
+    EXPECT_EQ(with.result.status, without.result.status)
+        << "round " << round << " K=" << k;
+  }
+}
+
+TEST(PortfolioTest, SharingReportsExchangeTraffic) {
+  // K_13 with 12 colors under s1 symmetry breaking: UNSAT with real search,
+  // so the members have learnts to trade.
+  graph::Graph g(13);
+  for (graph::VertexId u = 0; u < 13; ++u) {
+    for (graph::VertexId v = u + 1; v < 13; ++v) g.AddEdge(u, v);
+  }
+  PortfolioOptions sharing;
+  sharing.share_clauses = true;
+  const PortfolioResult result = RunPortfolio(
+      g, 12, DiversifiedPortfolio(3), /*timeout_seconds=*/0.0, sharing);
+  ASSERT_GE(result.winner, 0);
+  EXPECT_EQ(result.result.status, sat::SolveResult::kUnsat);
+  ASSERT_EQ(result.strategy_stats.size(), 3u);
+  std::uint64_t exported = 0;
+  for (const sat::SolverStats& stats : result.strategy_stats) {
+    exported += stats.exported_clauses;
+  }
+  EXPECT_GT(exported, 0u);
+  EXPECT_GT(result.exchange_totals.published, 0u);
+}
+
 TEST(PortfolioTest, LosersAreCancelledQuickly) {
   // One fast strategy and the rest on a hard instance: wall time must be
   // close to the fast strategy's, far under any hard-solve time.

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "sat/brute_force.h"
+#include "sat/clause_exchange.h"
 #include "sat/solver.h"
 #include "test_util.h"
 
@@ -234,6 +235,119 @@ TEST(SolverTest, SatisfiedClauseAtLevelZeroIsDropped) {
   // Already satisfied by the unit above; must be a no-op.
   ASSERT_TRUE(solver.AddClause({Lit::Pos(a), Lit::Pos(b)}));
   EXPECT_EQ(solver.Solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, BinaryLayerPropagatesChains) {
+  // x0 -> x1 -> x2 -> x3 -> x4, all through the binary layer (the binaries
+  // must precede the unit so they are not strengthened away at add time).
+  Cnf cnf(5);
+  for (int v = 0; v + 1 < 5; ++v) {
+    cnf.AddBinary(Lit::Neg(v), Lit::Pos(v + 1));
+  }
+  cnf.AddUnit(Lit::Pos(0));
+  Solver solver;
+  ASSERT_TRUE(solver.AddCnf(cnf));
+  EXPECT_EQ(solver.stats().binary_propagations, 4u);
+  ASSERT_EQ(solver.Solve(), SolveResult::kSat);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_TRUE(solver.model()[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(SolverTest, ConflictAnalysisThroughBinaryReasons) {
+  // (a | b)(a | ~b)(~a | c)(~a | ~c): UNSAT, and every implication and
+  // conflict the solver ever sees has a binary reason.
+  Solver solver;
+  const Var a = solver.NewVar();
+  const Var b = solver.NewVar();
+  const Var c = solver.NewVar();
+  ASSERT_TRUE(solver.AddClause({Lit::Pos(a), Lit::Pos(b)}));
+  ASSERT_TRUE(solver.AddClause({Lit::Pos(a), Lit::Neg(b)}));
+  ASSERT_TRUE(solver.AddClause({Lit::Neg(a), Lit::Pos(c)}));
+  ASSERT_TRUE(solver.AddClause({Lit::Neg(a), Lit::Neg(c)}));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(solver.stats().conflicts, 0u);
+  EXPECT_GT(solver.stats().binary_propagations, 0u);
+}
+
+TEST(SolverTest, GcKeepsBinaryReasonsIntact) {
+  // Pigeonhole formulas are dominated by binary at-most-one clauses, so a
+  // long run exercises arena GC while binary-tagged reasons sit on the
+  // trail across many decision levels.
+  Solver solver;
+  ASSERT_TRUE(solver.AddCnf(testutil::PigeonholeCnf(8)));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(solver.stats().gc_runs, 0u);
+  EXPECT_GT(solver.stats().binary_propagations, 0u);
+}
+
+TEST(SolverTest, ImportsUnitFromExchange) {
+  ClauseExchange exchange;
+  const int publisher = exchange.Register(42, 42);
+  const int subscriber = exchange.Register(42, 42);
+  Solver solver;
+  const Var a = solver.NewVar();
+  const Var b = solver.NewVar();
+  ASSERT_TRUE(solver.AddClause({Lit::Pos(a), Lit::Pos(b)}));
+  solver.SetClauseExchange(&exchange, subscriber);
+  exchange.Publish(publisher, {Lit::Neg(a)});
+  EXPECT_EQ(solver.ImportClauses(), 1u);
+  EXPECT_EQ(solver.stats().imported_clauses, 1u);
+  ASSERT_EQ(solver.Solve(), SolveResult::kSat);
+  EXPECT_FALSE(solver.model()[static_cast<std::size_t>(a)]);
+  EXPECT_TRUE(solver.model()[static_cast<std::size_t>(b)]);
+}
+
+TEST(SolverTest, ImportCanRefuteFormula) {
+  ClauseExchange exchange;
+  const int publisher = exchange.Register(7, 7);
+  const int subscriber = exchange.Register(7, 7);
+  Solver solver;
+  const Var a = solver.NewVar();
+  ASSERT_TRUE(solver.AddClause({Lit::Pos(a)}));
+  solver.SetClauseExchange(&exchange, subscriber);
+  exchange.Publish(publisher, {Lit::Neg(a)});
+  EXPECT_EQ(solver.ImportClauses(), 1u);
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+}
+
+TEST(SolverTest, ImportSkipsOutOfRangeVariables) {
+  ClauseExchange exchange;
+  const int publisher = exchange.Register(1, 1);
+  const int subscriber = exchange.Register(1, 1);
+  Solver solver;
+  solver.NewVar();
+  solver.SetClauseExchange(&exchange, subscriber);
+  exchange.Publish(publisher, {Lit::Pos(99)});
+  EXPECT_EQ(solver.ImportClauses(), 0u);
+  EXPECT_EQ(solver.stats().imported_clauses, 0u);
+  EXPECT_EQ(solver.Solve(), SolveResult::kSat);
+}
+
+TEST(SolverTest, ImportSuppressedWhileProofLogging) {
+  ClauseExchange exchange;
+  const int publisher = exchange.Register(3, 3);
+  const int subscriber = exchange.Register(3, 3);
+  Solver solver;
+  solver.NewVar();
+  std::vector<Clause> proof;
+  solver.SetProofLog(&proof);
+  solver.SetClauseExchange(&exchange, subscriber);
+  exchange.Publish(publisher, {Lit::Neg(0)});
+  // A foreign clause cannot be justified by the local RUP log, so nothing
+  // may be imported while a proof is being recorded.
+  EXPECT_EQ(solver.ImportClauses(), 0u);
+}
+
+TEST(SolverTest, ExportsLearntsToExchange) {
+  ClauseExchange exchange;
+  const int participant = exchange.Register(11, 11);
+  Solver solver;
+  solver.SetClauseExchange(&exchange, participant);
+  ASSERT_TRUE(solver.AddCnf(testutil::PigeonholeCnf(6)));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(solver.stats().exported_clauses, 0u);
+  EXPECT_GT(exchange.totals().published, 0u);
 }
 
 }  // namespace

@@ -176,6 +176,17 @@ int CmdRoute(const CliOptions& opts) {
               result.cnf_vars, result.cnf_clauses,
               static_cast<unsigned long long>(
                   result.solver_stats.conflicts));
+  std::printf("stats: %llu propagations (%llu binary, %.2f Mprops/s), "
+              "%llu imported, %llu exported\n",
+              static_cast<unsigned long long>(
+                  result.solver_stats.propagations),
+              static_cast<unsigned long long>(
+                  result.solver_stats.binary_propagations),
+              result.solver_stats.PropagationsPerSecond() / 1e6,
+              static_cast<unsigned long long>(
+                  result.solver_stats.imported_clauses),
+              static_cast<unsigned long long>(
+                  result.solver_stats.exported_clauses));
   if (result.status == sat::SolveResult::kSat) {
     std::string error;
     if (!flow::ValidateTrackAssignment(loaded.arch, loaded.routing,
@@ -236,6 +247,11 @@ int CmdSolve(const CliOptions& opts) {
               sat::ToString(result),
               static_cast<unsigned long long>(solver.stats().conflicts),
               static_cast<unsigned long long>(solver.stats().decisions));
+  std::printf("stats: %llu propagations (%llu binary, %.2f Mprops/s)\n",
+              static_cast<unsigned long long>(solver.stats().propagations),
+              static_cast<unsigned long long>(
+                  solver.stats().binary_propagations),
+              solver.stats().PropagationsPerSecond() / 1e6);
   return result == sat::SolveResult::kUnknown ? 1 : 0;
 }
 
