@@ -5,6 +5,7 @@
 
 #include <map>
 
+#include "analysis/runner.h"
 #include "encode/csp_to_cnf.h"
 #include "encode/registry.h"
 #include "flow/conflict_graph.h"
@@ -53,6 +54,37 @@ void BM_EncodeColoring(benchmark::State& state,
 }
 BENCHMARK_CAPTURE(BM_EncodeColoring, muldirect, std::string("muldirect"));
 BENCHMARK_CAPTURE(BM_EncodeColoring, ite_linear_2_muldirect,
+                  std::string("ITE-linear-2+muldirect"));
+
+void BM_LintEncodedColoring(benchmark::State& state,
+                            const std::string& encoding_name) {
+  // Same circulant instance as BM_EncodeColoring, so the two benchmarks
+  // together give the lint/encode overhead ratio of --selfcheck.
+  graph::Graph g(80);
+  for (graph::VertexId v = 0; v < 80; ++v) {
+    for (int offset : {1, 2, 5, 11}) {
+      g.AddEdge(v, (v + offset) % 80);
+    }
+  }
+  const encode::EncodingSpec spec = encode::GetEncoding(encoding_name);
+  const std::vector<graph::VertexId> sequence =
+      symmetry::SymmetrySequence(g, 6, symmetry::Heuristic::kS1);
+  const encode::EncodedColoring encoded =
+      encode::EncodeColoring(g, 6, spec, sequence);
+  const analysis::AnalysisRunner runner = analysis::MakeDefaultRunner();
+  analysis::AnalysisInput input;
+  input.cnf = &encoded.cnf;
+  input.conflict_graph = &g;
+  input.encoded = &encoded;
+  input.spec = &spec;
+  input.symmetry_sequence = &sequence;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(input));
+  }
+}
+BENCHMARK_CAPTURE(BM_LintEncodedColoring, muldirect,
+                  std::string("muldirect"));
+BENCHMARK_CAPTURE(BM_LintEncodedColoring, ite_linear_2_muldirect,
                   std::string("ITE-linear-2+muldirect"));
 
 void BM_GlobalRoute(benchmark::State& state) {

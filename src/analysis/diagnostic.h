@@ -1,0 +1,69 @@
+// Diagnostics produced by the satlint static-analysis layer.
+//
+// Every finding is a Diagnostic: which pass produced it, how severe it is,
+// where in the artifact it points (a clause index, a vertex, a variable),
+// and a human-readable message. Passes report through a DiagnosticSink,
+// which stamps the pass name, applies the runner's per-pass severity
+// override, and bounds the number of stored findings so a systematically
+// broken artifact cannot flood the report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace satfr::analysis {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+const char* ToString(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Name of the pass that produced the finding (e.g. "cnf-tautology").
+  std::string pass;
+  /// Artifact coordinate, e.g. "clause 17", "vertex 3", "var x12".
+  std::string location;
+  std::string message;
+};
+
+class DiagnosticSink {
+ public:
+  /// At most this many findings per pass are stored verbatim; further ones
+  /// are tallied and summarized by the runner.
+  static constexpr std::size_t kMaxStoredPerPass = 100;
+
+  /// `forced_severity` true pins every finding (even ones reported with an
+  /// explicit severity) to `severity` — the runner's override mechanism.
+  DiagnosticSink(std::string pass, Severity severity, bool forced_severity,
+                 std::vector<Diagnostic>* out)
+      : pass_(std::move(pass)),
+        severity_(severity),
+        forced_severity_(forced_severity),
+        out_(out) {}
+
+  /// Reports a finding at the pass's default (or overridden) severity.
+  void Report(std::string location, std::string message) {
+    ReportAt(severity_, std::move(location), std::move(message));
+  }
+
+  /// Reports a finding at an explicit severity (still subject to override).
+  void ReportAt(Severity severity, std::string location, std::string message);
+
+  /// Findings reported so far, including ones beyond the storage bound.
+  std::size_t num_reported() const { return num_reported_; }
+
+  /// Findings reported but not stored (bound exceeded).
+  std::size_t num_suppressed() const { return num_suppressed_; }
+
+ private:
+  std::string pass_;
+  Severity severity_;
+  bool forced_severity_;
+  std::vector<Diagnostic>* out_;
+  std::size_t num_reported_ = 0;
+  std::size_t num_suppressed_ = 0;
+};
+
+}  // namespace satfr::analysis

@@ -1,0 +1,183 @@
+#include "analysis/graph_passes.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "route/global_routing.h"
+
+namespace satfr::analysis {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using route::GlobalRouting;
+
+std::string VertexLocation(VertexId v) {
+  return "vertex " + std::to_string(v);
+}
+
+class GraphSimplePass final : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "graph-simple"; }
+  std::string_view description() const override {
+    return "conflict graph must be simple, symmetric, and count-consistent";
+  }
+  bool Applicable(const AnalysisInput& input) const override {
+    return input.conflict_graph != nullptr;
+  }
+  void Run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    const Graph& g = *input.conflict_graph;
+    const VertexId n = g.num_vertices();
+    std::size_t degree_sum = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto& neighbors = g.Neighbors(v);
+      degree_sum += neighbors.size();
+      std::set<VertexId> seen;
+      for (const VertexId u : neighbors) {
+        if (u == v) {
+          sink.Report(VertexLocation(v), "self-loop");
+          continue;
+        }
+        if (u < 0 || u >= n) {
+          sink.Report(VertexLocation(v),
+                      "adjacency entry " + std::to_string(u) +
+                          " out of range [0, " + std::to_string(n) + ")");
+          continue;
+        }
+        if (!seen.insert(u).second) {
+          sink.Report(VertexLocation(v),
+                      "duplicate adjacency entry for vertex " +
+                          std::to_string(u));
+          continue;
+        }
+        const auto& back = g.Neighbors(u);
+        if (std::find(back.begin(), back.end(), v) == back.end()) {
+          sink.Report(VertexLocation(v),
+                      "asymmetric edge: " + std::to_string(u) +
+                          " is a neighbor of " + std::to_string(v) +
+                          " but not vice versa");
+        }
+      }
+    }
+    if (degree_sum != 2 * g.num_edges()) {
+      sink.Report("graph", "degree sum " + std::to_string(degree_sum) +
+                               " != 2 * num_edges (" +
+                               std::to_string(g.num_edges()) + " edges)");
+    }
+  }
+};
+
+class FlowTwoPinPass final : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "flow-two-pin"; }
+  std::string_view description() const override {
+    return "conflict graph must mirror the 2-pin decomposition and routing";
+  }
+  bool Applicable(const AnalysisInput& input) const override {
+    return input.conflict_graph != nullptr && input.routing != nullptr;
+  }
+  void Run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    const Graph& g = *input.conflict_graph;
+    const GlobalRouting& routing = *input.routing;
+    const std::size_t num_nets = routing.NumTwoPinNets();
+
+    if (static_cast<std::size_t>(g.num_vertices()) != num_nets) {
+      sink.Report("graph",
+                  std::to_string(g.num_vertices()) +
+                      " vertices but the routing has " +
+                      std::to_string(num_nets) + " 2-pin nets");
+      return;  // Vertex <-> net correspondence is broken; stop here.
+    }
+    if (routing.routes.size() != num_nets) {
+      sink.Report("routing", std::to_string(routing.routes.size()) +
+                                 " routes for " + std::to_string(num_nets) +
+                                 " 2-pin nets");
+      return;
+    }
+    for (std::size_t i = 0; i < num_nets; ++i) {
+      const auto& net = routing.two_pin_nets[i];
+      if (net.parent < 0 || net.source < 0 || net.sink < 0) {
+        sink.Report("2-pin net " + std::to_string(i),
+                    "incomplete decomposition: parent/source/sink unset");
+      }
+      for (const fpga::SegmentIndex seg : routing.routes[i]) {
+        if (seg < 0) {
+          sink.Report("2-pin net " + std::to_string(i),
+                      "route contains an invalid segment index");
+          break;
+        }
+      }
+    }
+
+    // Segment -> occupant map, then both directions of the edge contract.
+    std::unordered_map<fpga::SegmentIndex, std::vector<VertexId>> occupants;
+    for (std::size_t i = 0; i < num_nets; ++i) {
+      for (const fpga::SegmentIndex seg : routing.routes[i]) {
+        if (seg < 0) continue;
+        auto& list = occupants[seg];
+        if (list.empty() || list.back() != static_cast<VertexId>(i)) {
+          list.push_back(static_cast<VertexId>(i));
+        }
+      }
+    }
+    const auto share_segment = [&](VertexId a, VertexId b) {
+      const auto& ra = routing.routes[static_cast<std::size_t>(a)];
+      const auto& rb = routing.routes[static_cast<std::size_t>(b)];
+      return std::any_of(ra.begin(), ra.end(), [&](fpga::SegmentIndex seg) {
+        return std::find(rb.begin(), rb.end(), seg) != rb.end();
+      });
+    };
+
+    // Every edge must be justified: different parents + a shared segment.
+    for (const auto& [u, v] : g.Edges()) {
+      const auto& net_u = routing.two_pin_nets[static_cast<std::size_t>(u)];
+      const auto& net_v = routing.two_pin_nets[static_cast<std::size_t>(v)];
+      const std::string location =
+          "edge {" + std::to_string(u) + ", " + std::to_string(v) + "}";
+      if (net_u.parent == net_v.parent) {
+        sink.Report(location,
+                    "both 2-pin nets belong to multi-pin net " +
+                        std::to_string(net_u.parent) +
+                        "; same-parent nets share tracks freely");
+      }
+      if (!share_segment(u, v)) {
+        sink.Report(location,
+                    "routes share no channel segment; the exclusivity "
+                    "constraint is vacuous");
+      }
+    }
+
+    // Completeness: different-parent nets sharing a segment must conflict.
+    for (const auto& [seg, list] : occupants) {
+      for (std::size_t a = 0; a < list.size(); ++a) {
+        for (std::size_t b = a + 1; b < list.size(); ++b) {
+          const auto& net_a =
+              routing.two_pin_nets[static_cast<std::size_t>(list[a])];
+          const auto& net_b =
+              routing.two_pin_nets[static_cast<std::size_t>(list[b])];
+          if (net_a.parent == net_b.parent) continue;
+          if (!g.HasEdge(list[a], list[b])) {
+            sink.Report("segment " + std::to_string(seg),
+                        "2-pin nets " + std::to_string(list[a]) + " and " +
+                            std::to_string(list[b]) +
+                            " of different parents share it but have no "
+                            "conflict edge");
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void AddGraphPasses(AnalysisRunner& runner) {
+  runner.AddPass(std::make_unique<GraphSimplePass>());
+  runner.AddPass(std::make_unique<FlowTwoPinPass>());
+}
+
+}  // namespace satfr::analysis

@@ -1,0 +1,21 @@
+// Graph- and flow-layer lint passes.
+//
+// graph-simple checks the conflict graph's adjacency structure directly
+// (no self-loops, no duplicate or asymmetric adjacency entries, consistent
+// edge count) — defects a hand-written .col file or a buggy builder could
+// introduce even though graph::Graph rejects them at AddEdge time.
+// flow-two-pin cross-checks the conflict graph against the global routing
+// it was extracted from: one vertex per 2-pin net, edges exactly between
+// 2-pin nets of different multi-pin parents whose routes share a segment.
+#pragma once
+
+#include "analysis/runner.h"
+
+namespace satfr::analysis {
+
+/// Registers the two graph/flow passes:
+///   graph-simple  (error) self-loops / duplicate / asymmetric adjacency
+///   flow-two-pin  (error) conflict graph <-> global routing consistency
+void AddGraphPasses(AnalysisRunner& runner);
+
+}  // namespace satfr::analysis

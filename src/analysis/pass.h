@@ -1,0 +1,63 @@
+// The AnalysisPass interface and the artifact bundle passes inspect.
+//
+// The flow produces artifacts at three layers — the conflict graph, the
+// encoded coloring (CNF + per-vertex variable numbering + stats), and the
+// raw CNF — and satlint checks contracts at each. A pass declares which
+// artifacts it needs via Applicable(); the runner skips passes whose inputs
+// are absent, so the same pipeline lints a bare DIMACS file, a .col graph,
+// or a full in-process encoding run.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "graph/graph.h"
+#include "sat/cnf.h"
+
+namespace satfr::encode {
+struct EncodedColoring;
+struct EncodingSpec;
+}  // namespace satfr::encode
+namespace satfr::route {
+struct GlobalRouting;
+}  // namespace satfr::route
+
+namespace satfr::analysis {
+
+/// Everything a pipeline run may look at. All pointers are optional and
+/// non-owning; the encoding-contract layer needs `cnf`, `conflict_graph`,
+/// `encoded` and `spec` together. `symmetry_sequence` may stay null for
+/// "no symmetry breaking".
+struct AnalysisInput {
+  const sat::Cnf* cnf = nullptr;
+  const graph::Graph* conflict_graph = nullptr;
+  const encode::EncodedColoring* encoded = nullptr;
+  const encode::EncodingSpec* spec = nullptr;
+  const std::vector<graph::VertexId>* symmetry_sequence = nullptr;
+  const route::GlobalRouting* routing = nullptr;
+
+  bool HasEncoding() const {
+    return cnf != nullptr && conflict_graph != nullptr && encoded != nullptr &&
+           spec != nullptr;
+  }
+};
+
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  /// Stable kebab-case identifier, e.g. "cnf-tautology".
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// Severity of this pass's findings unless the runner overrides it.
+  virtual Severity default_severity() const { return Severity::kError; }
+
+  /// True if every artifact the pass inspects is present in `input`.
+  virtual bool Applicable(const AnalysisInput& input) const = 0;
+
+  virtual void Run(const AnalysisInput& input, DiagnosticSink& sink) const = 0;
+};
+
+}  // namespace satfr::analysis

@@ -1,7 +1,9 @@
 #include "flow/detailed_router.h"
 
 #include <cassert>
+#include <utility>
 
+#include "analysis/runner.h"
 #include "flow/conflict_graph.h"
 #include "flow/track_checker.h"
 #include "sat/rup_checker.h"
@@ -9,10 +11,14 @@
 namespace satfr::flow {
 namespace {
 
+/// `routing` is non-null only when the caller extracted the conflict graph
+/// from a global routing itself; the selfcheck's flow-two-pin pass then
+/// cross-checks the two.
 DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
                                  int num_tracks,
                                  const DetailedRouteOptions& options,
-                                 double coloring_seconds) {
+                                 double coloring_seconds,
+                                 const route::GlobalRouting* routing) {
   DetailedRouteResult result;
   result.coloring_seconds = coloring_seconds;
   result.conflict_vertices = conflict_graph.num_vertices();
@@ -25,6 +31,27 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
       conflict_graph, num_tracks, options.encoding, sequence);
   result.cnf_vars = encoded.cnf.num_vars();
   result.cnf_clauses = encoded.cnf.num_clauses();
+
+  if (options.selfcheck) {
+    const analysis::AnalysisRunner runner = analysis::MakeDefaultRunner();
+    analysis::AnalysisInput lint_input;
+    lint_input.cnf = &encoded.cnf;
+    lint_input.conflict_graph = &conflict_graph;
+    lint_input.encoded = &encoded;
+    lint_input.spec = &options.encoding;
+    lint_input.symmetry_sequence = &sequence;
+    lint_input.routing = routing;
+    analysis::AnalysisReport report = runner.Run(lint_input);
+    const bool broken = report.HasErrors();
+    result.lint = std::move(report.diagnostics);
+    if (broken) {
+      // Never hand a formula that violates its own encoding contract to the
+      // solver: its answer would say nothing about the routing instance.
+      result.encode_seconds = encode_watch.Seconds();
+      result.status = sat::SolveResult::kUnknown;
+      return result;
+    }
+  }
 
   sat::Solver solver(options.solver);
   std::vector<sat::Clause> proof;
@@ -68,8 +95,9 @@ DetailedRouteResult RouteDetailed(const fpga::Arch& arch,
   Stopwatch coloring_watch;
   const graph::Graph conflict_graph = BuildConflictGraph(arch, routing);
   const double coloring_seconds = coloring_watch.Seconds();
-  DetailedRouteResult result =
-      SolveOnGraph(conflict_graph, num_tracks, options, coloring_seconds);
+  DetailedRouteResult result = SolveOnGraph(conflict_graph, num_tracks,
+                                            options, coloring_seconds,
+                                            &routing);
 #ifndef NDEBUG
   if (result.status == sat::SolveResult::kSat) {
     std::string error;
@@ -85,7 +113,7 @@ DetailedRouteResult RouteDetailedOnGraph(
     const graph::Graph& conflict_graph, int num_tracks,
     const DetailedRouteOptions& options) {
   return SolveOnGraph(conflict_graph, num_tracks, options,
-                      /*coloring_seconds=*/0.0);
+                      /*coloring_seconds=*/0.0, /*routing=*/nullptr);
 }
 
 }  // namespace satfr::flow

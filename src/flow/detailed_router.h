@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "common/stopwatch.h"
 #include "encode/csp_to_cnf.h"
 #include "encode/registry.h"
@@ -39,6 +40,12 @@ struct DetailedRouteOptions {
   /// returned by exchange->Register for THIS strategy's numbering key.
   sat::ClauseExchange* exchange = nullptr;
   int exchange_participant = -1;
+  /// Run the satlint analysis pipeline over the conflict graph and the
+  /// encoded CNF before solving. Findings land in
+  /// DetailedRouteResult::lint; any error-severity finding aborts the run
+  /// with status kUnknown instead of handing a broken formula to the
+  /// solver. Debug aid; off by default (linting re-walks the whole CNF).
+  bool selfcheck = false;
 };
 
 struct DetailedRouteResult {
@@ -66,6 +73,10 @@ struct DetailedRouteResult {
   bool proof_verified = false;
   /// Length of the logged refutation (0 unless proof verification ran).
   std::size_t proof_clauses = 0;
+
+  /// Findings of the satlint pipeline (only when options.selfcheck). If any
+  /// is error-severity, status is kUnknown and no solve was attempted.
+  std::vector<analysis::Diagnostic> lint;
 };
 
 /// Routes `routing` in `num_tracks` tracks. kSat => `tracks` is a valid

@@ -40,6 +40,14 @@ class Cnf {
   /// Appends a clause; variables must already be allocated.
   void AddClause(Clause clause);
 
+  /// Appends a clause without the allocated-variable assertion. Exists for
+  /// tooling that must *represent* ill-formed input (the satlint passes
+  /// detect out-of-range literals rather than crash on them); encoders and
+  /// solvers must keep using AddClause.
+  void AddClauseUnchecked(Clause clause) {
+    clauses_.push_back(std::move(clause));
+  }
+
   /// Convenience overloads for small clauses.
   void AddUnit(Lit a) { AddClause({a}); }
   void AddBinary(Lit a, Lit b) { AddClause({a, b}); }

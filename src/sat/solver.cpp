@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "sat/clause_exchange.h"
 
@@ -833,6 +837,213 @@ SolveResult Solver::Solve(Deadline deadline, const std::atomic<bool>* stop) {
   return SolveWithAssumptions({}, deadline, stop);
 }
 
+bool Solver::CheckInvariants(std::string* error) const {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  const std::size_t n = assigns_.size();
+
+  // Per-variable and per-literal array sizes.
+  if (level_.size() != n || reason_.size() != n || activity_.size() != n ||
+      saved_phase_.size() != n) {
+    return fail("per-variable arrays disagree on the variable count");
+  }
+  if (watches_.size() != 2 * n || binary_watches_.size() != 2 * n) {
+    return fail("watch lists not sized to 2 * num_vars");
+  }
+
+  // Trail: true literals, no repeats, level segments match trail_lim_.
+  if (qhead_ > trail_.size() || qhead_bin_ > trail_.size()) {
+    return fail("propagation head beyond the trail");
+  }
+  if (trail_.size() > n) return fail("trail longer than the variable count");
+  std::size_t assigned = 0;
+  for (std::size_t v = 0; v < n; ++v) assigned += assigns_[v] != LBool::kUndef;
+  if (assigned != trail_.size()) {
+    return fail("assigned variables (" + std::to_string(assigned) +
+                ") != trail length (" + std::to_string(trail_.size()) + ")");
+  }
+  std::size_t previous_lim = 0;
+  for (const int lim : trail_lim_) {
+    if (lim < 0 || static_cast<std::size_t>(lim) > trail_.size() ||
+        static_cast<std::size_t>(lim) < previous_lim) {
+      return fail("trail_lim_ not a nondecreasing partition of the trail");
+    }
+    previous_lim = static_cast<std::size_t>(lim);
+  }
+  std::vector<char> on_trail(n, 0);
+  std::size_t next_level = 0;
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    const Lit p = trail_[i];
+    if (!p.IsValid() || static_cast<std::size_t>(p.var()) >= n) {
+      return fail("trail entry " + std::to_string(i) + " is invalid");
+    }
+    const std::size_t v = static_cast<std::size_t>(p.var());
+    if (on_trail[v] != 0) {
+      return fail("variable x" + std::to_string(p.var()) + " on trail twice");
+    }
+    on_trail[v] = 1;
+    if (Value(p) != LBool::kTrue) {
+      return fail("trail literal " + p.ToString() + " is not assigned true");
+    }
+    while (next_level < trail_lim_.size() &&
+           static_cast<std::size_t>(trail_lim_[next_level]) == i) {
+      ++next_level;
+      if (reason_[v] != kNoClause) {
+        return fail("decision literal " + p.ToString() + " has a reason");
+      }
+    }
+    if (level_[v] != static_cast<int>(next_level)) {
+      return fail("trail literal " + p.ToString() + " at level " +
+                  std::to_string(level_[v]) + " inside segment " +
+                  std::to_string(next_level));
+    }
+  }
+
+  // Reason soundness for propagated (non-root) assignments.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (assigns_[v] == LBool::kUndef || level_[v] == 0) continue;
+    const ClauseRef r = reason_[v];
+    if (r == kNoClause) continue;  // decision (or reason nulled on removal)
+    const Lit implied = Lit::Make(static_cast<Var>(v),
+                                  assigns_[v] == LBool::kFalse);
+    if (IsBinaryReason(r)) {
+      const Lit other = BinaryReasonLit(r);
+      if (!other.IsValid() || static_cast<std::size_t>(other.var()) >= n ||
+          Value(other) != LBool::kFalse ||
+          LevelOf(other.var()) > level_[v]) {
+        return fail("binary reason of " + implied.ToString() +
+                    " is not a false earlier literal");
+      }
+    } else {
+      if (r >= arena_.size()) {
+        return fail("reason of " + implied.ToString() + " outside the arena");
+      }
+      const ClauseView c{const_cast<std::uint32_t*>(arena_.data()) + r};
+      if (c.deleted() || c.size() < 2 || c[0] != implied) {
+        return fail("reason clause of " + implied.ToString() +
+                    " does not imply it");
+      }
+      for (std::uint32_t i = 1; i < c.size(); ++i) {
+        if (Value(c[i]) != LBool::kFalse || LevelOf(c[i].var()) > level_[v]) {
+          return fail("reason clause of " + implied.ToString() +
+                      " has a non-false tail literal");
+        }
+      }
+    }
+  }
+
+  // Unassigned variables must be available to the decision heap.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (assigns_[v] == LBool::kUndef && !order_.Contains(static_cast<Var>(v))) {
+      return fail("unassigned variable x" + std::to_string(v) +
+                  " missing from the decision heap");
+    }
+  }
+
+  // Binary layer: every implication entry has its mirror, counts agree.
+  std::uint64_t binary_entries = 0;
+  std::unordered_map<std::uint64_t, std::int64_t> mirror_balance;
+  for (std::size_t code = 0; code < binary_watches_.size(); ++code) {
+    for (const Lit q : binary_watches_[code]) {
+      if (!q.IsValid() || static_cast<std::size_t>(q.var()) >= n) {
+        return fail("binary watch list " + std::to_string(code) +
+                    " holds an invalid literal");
+      }
+      ++binary_entries;
+      // Entry q in list[p.code()] encodes clause (~p \/ q); its mirror is
+      // entry ~p in list[(~q).code()]. Count each direction with opposite
+      // signs under a direction-independent key.
+      const auto pc = static_cast<std::uint64_t>(code);
+      const auto qc = static_cast<std::uint64_t>(q.code());
+      const std::uint64_t mc = qc ^ 1ull;  // mirror list index
+      const std::uint64_t mq = pc ^ 1ull;  // mirror entry code
+      const std::uint64_t forward = pc * 2 * n + qc;
+      const std::uint64_t backward = mc * 2 * n + mq;
+      if (forward <= backward) {
+        ++mirror_balance[forward];
+      } else {
+        --mirror_balance[backward];
+      }
+    }
+  }
+  if (binary_entries != 2 * num_binary_clauses_) {
+    return fail("binary watch entries (" + std::to_string(binary_entries) +
+                ") != 2 * num_binary_clauses_ (" +
+                std::to_string(num_binary_clauses_) + " clauses)");
+  }
+  for (const auto& [key, balance] : mirror_balance) {
+    if (balance != 0) {
+      return fail("binary implication without its mirror entry (list " +
+                  std::to_string(key / (2 * n)) + ", code " +
+                  std::to_string(key % (2 * n)) + ")");
+    }
+  }
+
+  // Arena clauses: live lists hold valid, undeleted, correctly flagged
+  // clauses, each watched on exactly its first two literals.
+  std::unordered_set<ClauseRef> live;
+  std::uint64_t expected_watchers = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::vector<ClauseRef>& list = pass == 0 ? clauses_ : learnts_;
+    for (const ClauseRef cref : list) {
+      if (cref >= arena_.size()) return fail("clause reference out of arena");
+      const ClauseView c{const_cast<std::uint32_t*>(arena_.data()) + cref};
+      if (static_cast<std::uint64_t>(cref) + c.Words() > arena_.size()) {
+        return fail("clause overruns the arena");
+      }
+      if (c.deleted() || c.relocated()) {
+        return fail("deleted/relocated clause still in a live list");
+      }
+      if (c.size() < 3) {
+        return fail("arena clause of size " + std::to_string(c.size()) +
+                    " (binaries belong to the binary layer)");
+      }
+      if (c.learnt() != (pass == 1)) {
+        return fail("clause learnt flag disagrees with its list");
+      }
+      if (!live.insert(cref).second) {
+        return fail("clause listed twice");
+      }
+      for (std::uint32_t i = 0; i < c.size(); ++i) {
+        if (!c[i].IsValid() || static_cast<std::size_t>(c[i].var()) >= n) {
+          return fail("arena clause holds an invalid literal");
+        }
+      }
+      for (int w = 0; w < 2; ++w) {
+        const auto& watch_list =
+            watches_[static_cast<std::size_t>((~c[w]).code())];
+        const auto hits = std::count_if(
+            watch_list.begin(), watch_list.end(),
+            [cref](const Watcher& watcher) { return watcher.cref == cref; });
+        const long expected = c[0] == c[1] ? 2 : 1;
+        if (hits != expected) {
+          return fail("clause watched " + std::to_string(hits) +
+                      " time(s) on literal " + c[w].ToString() +
+                      ", expected " + std::to_string(expected));
+        }
+      }
+      expected_watchers += 2;
+    }
+  }
+  std::uint64_t actual_watchers = 0;
+  for (const auto& watch_list : watches_) {
+    actual_watchers += watch_list.size();
+    for (const Watcher& watcher : watch_list) {
+      if (live.count(watcher.cref) == 0) {
+        return fail("watcher points at a clause outside the live lists");
+      }
+    }
+  }
+  if (actual_watchers != expected_watchers) {
+    return fail("total watcher entries (" + std::to_string(actual_watchers) +
+                ") != 2 * live clauses (" +
+                std::to_string(expected_watchers / 2) + ")");
+  }
+  return true;
+}
+
 SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
                                          Deadline deadline,
                                          const std::atomic<bool>* stop) {
@@ -850,6 +1061,14 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
   LBool status = LBool::kUndef;
   int restarts = 0;
   while (status == LBool::kUndef && !budget_exhausted_) {
+    if (options_.debug_check_invariants) {
+      std::string violation;
+      if (!CheckInvariants(&violation)) {
+        std::fprintf(stderr, "solver invariant violated at restart %d: %s\n",
+                     restarts, violation.c_str());
+        std::abort();
+      }
+    }
     // Restart boundary: the solver is at level 0, so shared clauses can be
     // spliced into the database before the next descent.
     if (exchange_ != nullptr) {

@@ -70,6 +70,9 @@ struct SolverOptions {
   std::uint32_t share_max_lbd = 2;
   // Seed for random decisions / polarities.
   std::uint64_t seed = 91648253;
+  // Run CheckInvariants at every restart boundary and abort on a violation.
+  // Debug aid for solver changes; off by default (full scans are O(arena)).
+  bool debug_check_invariants = false;
 
   /// Preset approximating MiniSat's classic behaviour.
   static SolverOptions MiniSatLike();
@@ -145,6 +148,17 @@ class Solver {
 
   /// False once the clause set has been proven unsatisfiable.
   bool okay() const { return ok_; }
+
+  /// Full consistency scan over the solver's internal state: per-variable
+  /// array sizes, trail/decision-level well-formedness, reason soundness
+  /// (the implied literal is true, all others false at earlier-or-equal
+  /// levels), binary-layer symmetry (every implication has its mirror and
+  /// the entry count matches num_binary_clauses_), and watch-list <-> arena
+  /// agreement (every live clause is watched on exactly its first two
+  /// literals and every watcher points at a live clause). Safe to call at
+  /// any quiescent point (between solves, at restart boundaries, from
+  /// tests). Returns false and fills `error` on the first violation.
+  bool CheckInvariants(std::string* error = nullptr) const;
 
   /// Attaches a DRUP-style proof log: every clause the solver derives
   /// (learned clauses, strengthened input clauses, and the final empty

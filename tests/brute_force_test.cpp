@@ -41,9 +41,13 @@ TEST(BruteForceTest, ModelsActuallySatisfy) {
   for (int i = 0; i < 50; ++i) {
     const Cnf cnf = testutil::RandomCnf(rng, 8, 16);
     const auto by_enum = SolveByEnumeration(cnf);
-    if (by_enum) EXPECT_TRUE(cnf.IsSatisfiedBy(*by_enum));
+    if (by_enum) {
+      EXPECT_TRUE(cnf.IsSatisfiedBy(*by_enum));
+    }
     const auto by_dpll = SolveByDpll(cnf);
-    if (by_dpll) EXPECT_TRUE(cnf.IsSatisfiedBy(*by_dpll));
+    if (by_dpll) {
+      EXPECT_TRUE(cnf.IsSatisfiedBy(*by_dpll));
+    }
   }
 }
 

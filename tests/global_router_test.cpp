@@ -10,7 +10,7 @@ using fpga::Arch;
 using fpga::DeviceGraph;
 
 TEST(GlobalRouterTest, RoutesValidateOnAllSmallBenchmarks) {
-  for (const std::string& name : {"tiny", "9symml", "term1"}) {
+  for (const std::string name : {"tiny", "9symml", "term1"}) {
     const netlist::McncBenchmark bench =
         netlist::GenerateMcncBenchmark(name);
     const Arch arch(bench.params.grid_size);

@@ -105,7 +105,7 @@ TEST(IncrementalMinWidthTest, MatchesExactChromaticNumber) {
 }
 
 TEST(IncrementalMinWidthTest, AgreesWithScratchSearchOnBenchmarks) {
-  for (const std::string& name : {"tiny", "9symml", "term1"}) {
+  for (const std::string name : {"tiny", "9symml", "term1"}) {
     const netlist::McncBenchmark bench =
         netlist::GenerateMcncBenchmark(name);
     const fpga::Arch arch(bench.params.grid_size);

@@ -43,7 +43,7 @@ struct PipelineFixture {
 };
 
 TEST(IntegrationTest, SmallBenchmarksRouteAtOptimalWidth) {
-  for (const std::string& name : {"tiny", "9symml", "term1"}) {
+  for (const std::string name : {"tiny", "9symml", "term1"}) {
     const PipelineFixture fx(name);
     flow::MinWidthOptions options;
     options.route.timeout_seconds = 120.0;

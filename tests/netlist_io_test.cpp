@@ -48,7 +48,7 @@ TEST(NetlistIoTest, RoundTripThroughWriter) {
 }
 
 TEST(NetlistIoTest, GeneratedBenchmarksRoundTrip) {
-  for (const std::string& name : {"tiny", "9symml"}) {
+  for (const std::string name : {"tiny", "9symml"}) {
     const McncBenchmark bench = GenerateMcncBenchmark(name);
     std::ostringstream out;
     WritePlacedNetlist(bench.netlist, bench.placement, name, out);

@@ -350,5 +350,76 @@ TEST(SolverTest, ExportsLearntsToExchange) {
   EXPECT_GT(exchange.totals().published, 0u);
 }
 
+
+TEST(SolverInvariantsTest, HoldOnFreshSolver) {
+  Solver solver;
+  std::string error;
+  EXPECT_TRUE(solver.CheckInvariants(&error)) << error;
+  solver.NewVar();
+  solver.NewVar();
+  EXPECT_TRUE(solver.CheckInvariants(&error)) << error;
+}
+
+TEST(SolverInvariantsTest, HoldAfterAddingClauses) {
+  Solver solver;
+  ASSERT_TRUE(solver.AddCnf(testutil::PigeonholeCnf(5)));
+  std::string error;
+  EXPECT_TRUE(solver.CheckInvariants(&error)) << error;
+}
+
+TEST(SolverInvariantsTest, HoldAfterUnsatSolve) {
+  Solver solver;
+  ASSERT_TRUE(solver.AddCnf(testutil::PigeonholeCnf(6)));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+  std::string error;
+  EXPECT_TRUE(solver.CheckInvariants(&error)) << error;
+}
+
+TEST(SolverInvariantsTest, HoldAfterSatSolveAndRandomFormulas) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    Solver solver;
+    const Cnf cnf = testutil::RandomCnf(rng, 30, 80);
+    if (!solver.AddCnf(cnf)) continue;
+    solver.Solve();
+    std::string error;
+    ASSERT_TRUE(solver.CheckInvariants(&error)) << error;
+  }
+}
+
+TEST(SolverInvariantsTest, HoldBetweenAssumptionSolves) {
+  // Satisfiable formula in which assuming x0 forces a conflict by
+  // propagation, so each round alternates assumption-UNSAT and SAT results
+  // while the solver itself stays consistent.
+  Cnf cnf(3);
+  cnf.AddBinary(Lit::Neg(0), Lit::Pos(1));
+  cnf.AddBinary(Lit::Neg(1), Lit::Pos(2));
+  cnf.AddBinary(Lit::Neg(2), Lit::Neg(0));
+  Solver solver;
+  ASSERT_TRUE(solver.AddCnf(cnf));
+  std::string error;
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(solver.SolveWithAssumptions({Lit::Pos(0)}),
+              SolveResult::kUnsat);
+    ASSERT_TRUE(solver.okay());
+    ASSERT_TRUE(solver.CheckInvariants(&error)) << error;
+    EXPECT_EQ(solver.SolveWithAssumptions({Lit::Neg(0)}),
+              SolveResult::kSat);
+    ASSERT_TRUE(solver.okay());
+    ASSERT_TRUE(solver.CheckInvariants(&error)) << error;
+  }
+}
+
+TEST(SolverInvariantsTest, DebugOptionChecksAtRestartBoundaries) {
+  // Pigeonhole PHP(7, 6) needs thousands of conflicts, so the restart loop
+  // (and with it the debug invariant scan) runs many times.
+  SolverOptions options;
+  options.debug_check_invariants = true;
+  Solver solver(options);
+  ASSERT_TRUE(solver.AddCnf(testutil::PigeonholeCnf(6)));
+  EXPECT_EQ(solver.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(solver.stats().restarts, 1u);
+}
+
 }  // namespace
 }  // namespace satfr::sat

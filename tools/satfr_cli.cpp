@@ -19,6 +19,8 @@
 //   --solver siege|minisat|walksat  (default siege; walksat: SAT-only)
 //   --timeout SECONDS (default 300)
 //   --width N
+//   --selfcheck       run the satlint pipeline over every encoded CNF
+//                     before solving; abort on error-severity findings
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +53,7 @@ struct CliOptions {
   std::string save_routing_file;
   double timeout = 300.0;
   int width = -1;
+  bool selfcheck = false;
   std::vector<std::string> positional;
 };
 
@@ -85,6 +88,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.routing_file = next();
     } else if (arg == "--save-routing") {
       opts.save_routing_file = next();
+    } else if (arg == "--selfcheck") {
+      opts.selfcheck = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       Usage();
@@ -103,7 +108,24 @@ flow::DetailedRouteOptions ToRouteOptions(const CliOptions& opts) {
                      ? sat::SolverOptions::MiniSatLike()
                      : sat::SolverOptions::SiegeLike();
   route.timeout_seconds = opts.timeout;
+  route.selfcheck = opts.selfcheck;
   return route;
+}
+
+/// Prints selfcheck findings; true if any is error-severity (fail fast).
+bool ReportLint(const flow::DetailedRouteResult& result) {
+  bool errors = false;
+  for (const analysis::Diagnostic& d : result.lint) {
+    std::fprintf(stderr, "selfcheck %s [%s] %s: %s\n",
+                 analysis::ToString(d.severity), d.pass.c_str(),
+                 d.location.c_str(), d.message.c_str());
+    errors = errors || d.severity == analysis::Severity::kError;
+  }
+  if (errors) {
+    std::fprintf(stderr,
+                 "selfcheck found error-severity findings; not solving\n");
+  }
+  return errors;
 }
 
 struct LoadedBenchmark {
@@ -153,6 +175,7 @@ int CmdProve(const CliOptions& opts) {
   mw.route = ToRouteOptions(opts);
   const flow::MinWidthResult result =
       flow::FindMinimumWidthOnGraph(loaded.conflict, loaded.peak, mw);
+  if (ReportLint(result.routable) || ReportLint(result.unroutable)) return 1;
   if (result.min_width < 0) {
     std::printf("TIMEOUT before establishing W*\n");
     return 1;
@@ -171,6 +194,7 @@ int CmdRoute(const CliOptions& opts) {
   const LoadedBenchmark loaded = LoadBenchmark(opts.positional[0]);
   const auto result = flow::RouteDetailedOnGraph(loaded.conflict, opts.width,
                                                  ToRouteOptions(opts));
+  if (ReportLint(result)) return 1;
   std::printf("%s in %.3fs (%d vars, %zu clauses, %llu conflicts)\n",
               sat::ToString(result.status), result.TotalSeconds(),
               result.cnf_vars, result.cnf_clauses,
@@ -336,6 +360,7 @@ int CmdRouteFile(const CliOptions& opts) {
   if (opts.width > 0) {
     const auto result = flow::RouteDetailedOnGraph(conflict, opts.width,
                                                    ToRouteOptions(opts));
+    if (ReportLint(result)) return 1;
     std::printf("W=%d: %s in %.3fs\n", opts.width,
                 sat::ToString(result.status), result.TotalSeconds());
     return result.status == sat::SolveResult::kUnknown ? 1 : 0;
