@@ -12,6 +12,7 @@
 #include "flow/min_width.h"
 #include "netlist/mcnc_suite.h"
 #include "route/global_router.h"
+#include "sat/clause_sink.h"
 #include "sat/solver.h"
 #include "symmetry/symmetry.h"
 
@@ -54,6 +55,53 @@ void BM_EncodeColoring(benchmark::State& state,
 }
 BENCHMARK_CAPTURE(BM_EncodeColoring, muldirect, std::string("muldirect"));
 BENCHMARK_CAPTURE(BM_EncodeColoring, ite_linear_2_muldirect,
+                  std::string("ITE-linear-2+muldirect"));
+
+// The two encode->solve paths on the same instance: materialize a Cnf and
+// AddCnf it (collector) versus streaming the encoder into the solver
+// (direct). The delta is the cost of the intermediate Cnf.
+void BM_EncodeColoringCollectorToSolver(benchmark::State& state,
+                                        const std::string& encoding_name) {
+  graph::Graph g(80);
+  for (graph::VertexId v = 0; v < 80; ++v) {
+    for (int offset : {1, 2, 5, 11}) {
+      g.AddEdge(v, (v + offset) % 80);
+    }
+  }
+  const encode::EncodingSpec spec = encode::GetEncoding(encoding_name);
+  for (auto _ : state) {
+    sat::Solver solver;
+    const encode::EncodedColoring enc = EncodeColoring(g, 6, spec);
+    solver.AddCnf(enc.cnf);
+    benchmark::DoNotOptimize(solver.num_vars());
+  }
+}
+BENCHMARK_CAPTURE(BM_EncodeColoringCollectorToSolver, muldirect,
+                  std::string("muldirect"));
+BENCHMARK_CAPTURE(BM_EncodeColoringCollectorToSolver, ite_linear_2_muldirect,
+                  std::string("ITE-linear-2+muldirect"));
+
+void BM_EncodeColoringDirectToSolver(benchmark::State& state,
+                                     const std::string& encoding_name) {
+  graph::Graph g(80);
+  for (graph::VertexId v = 0; v < 80; ++v) {
+    for (int offset : {1, 2, 5, 11}) {
+      g.AddEdge(v, (v + offset) % 80);
+    }
+  }
+  const encode::EncodingSpec spec = encode::GetEncoding(encoding_name);
+  for (auto _ : state) {
+    sat::Solver solver;
+    sat::SolverSink sink(solver);
+    benchmark::DoNotOptimize(
+        encode::EncodeColoringToSink(g, 6, spec, {}, sink));
+    sink.Finish();
+    benchmark::DoNotOptimize(solver.num_vars());
+  }
+}
+BENCHMARK_CAPTURE(BM_EncodeColoringDirectToSolver, muldirect,
+                  std::string("muldirect"));
+BENCHMARK_CAPTURE(BM_EncodeColoringDirectToSolver, ite_linear_2_muldirect,
                   std::string("ITE-linear-2+muldirect"));
 
 void BM_LintEncodedColoring(benchmark::State& state,

@@ -7,6 +7,7 @@
 
 #include "encode/csp_to_cnf.h"
 #include "encode/registry.h"
+#include "sat/clause_sink.h"
 
 namespace {
 
@@ -50,6 +51,18 @@ void PrintEncoding(const char* encoding_name, bool log_style) {
     profile += " " + std::to_string(histogram[len]) + "x" +
                std::to_string(len);
   }
+  // Cross-check: the allocation-free CountingSink sees the same stream the
+  // collector materialized (Table 1 counts are sink-independent).
+  sat::CountingSink counting;
+  encode::EncodeColoringToSink(g, 3, encode::GetEncoding(encoding_name), {},
+                               counting);
+  bool counts_match = counting.num_clauses() == enc.cnf.num_clauses();
+  for (std::size_t len = 0; len < histogram.size(); ++len) {
+    counts_match =
+        counts_match && counting.NumClausesOfSize(len) == histogram[len];
+  }
+  profile += counts_match ? "  [counting-sink: match]"
+                          : "  [counting-sink: MISMATCH]";
   std::printf("%s\n\n", profile.c_str());
 }
 

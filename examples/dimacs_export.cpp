@@ -7,6 +7,7 @@
 // Writes <benchmark>.col and <benchmark>_w<width>_<encoding>.cnf in the
 // current directory.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "encode/csp_to_cnf.h"
@@ -15,7 +16,7 @@
 #include "graph/dimacs_col.h"
 #include "netlist/mcnc_suite.h"
 #include "route/global_router.h"
-#include "sat/dimacs.h"
+#include "sat/clause_sink.h"
 #include "symmetry/symmetry.h"
 
 int main(int argc, char** argv) {
@@ -47,22 +48,30 @@ int main(int argc, char** argv) {
 
   const auto sequence = symmetry::SymmetrySequence(
       conflict, width, symmetry::Heuristic::kS1);
-  const encode::EncodedColoring enc = encode::EncodeColoring(
-      conflict, width, encode::GetEncoding(encoding), sequence);
   const std::string cnf_path =
       benchmark + "_w" + std::to_string(width) + "_" + encoding + ".cnf";
-  if (!sat::WriteDimacsFile(
-          enc.cnf, cnf_path,
-          {"satfr: " + benchmark + " at W=" + std::to_string(width) +
-               " via encoding " + encoding + " + s1",
-           "satisfiable iff a detailed routing with W tracks exists"})) {
+  // Stream the encoder straight to disk: the CNF is written clause by
+  // clause (header back-patched at the end) and never held in memory.
+  std::ofstream cnf_out(cnf_path, std::ios::binary);
+  if (!cnf_out) {
     std::printf("cannot write %s\n", cnf_path.c_str());
     return 1;
   }
-  std::printf("wrote %s  (%d vars, %zu clauses: %zu structural, %zu "
+  sat::StreamingDimacsSink sink(
+      cnf_out, {"satfr: " + benchmark + " at W=" + std::to_string(width) +
+                    " via encoding " + encoding + " + s1",
+                "satisfiable iff a detailed routing with W tracks exists"});
+  const encode::ColoringLayout layout = encode::EncodeColoringToSink(
+      conflict, width, encode::GetEncoding(encoding), sequence, sink);
+  if (!sink.Finish()) {
+    std::printf("cannot write %s\n", cnf_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s  (%d vars, %llu clauses: %zu structural, %zu "
               "conflict, %zu symmetry)\n",
-              cnf_path.c_str(), enc.cnf.num_vars(), enc.cnf.num_clauses(),
-              enc.stats.structural_clauses, enc.stats.conflict_clauses,
-              enc.stats.symmetry_clauses);
+              cnf_path.c_str(), sink.num_vars(),
+              static_cast<unsigned long long>(sink.num_clauses()),
+              layout.stats.structural_clauses,
+              layout.stats.conflict_clauses, layout.stats.symmetry_clauses);
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "encode/csp_to_cnf.h"
 #include "encode/cube.h"
+#include "sat/clause_sink.h"
 
 namespace satfr::analysis {
 namespace {
@@ -583,6 +584,112 @@ class SymmetryPrefixPass final : public AnalysisPass {
   }
 };
 
+// ---------------------------------------------------------------------------
+// encoding-sink-equivalence: re-running the encoder through the streaming
+// entry point (EncodeColoringToSink) must replay the materialized Cnf clause
+// for clause — the guarantee that lets the default solve path skip the
+// intermediate Cnf entirely.
+// ---------------------------------------------------------------------------
+
+/// Sink that diffs the incoming stream against an existing Cnf in order.
+class VerifyAgainstCnfSink final : public sat::ClauseSink {
+ public:
+  explicit VerifyAgainstCnfSink(const sat::Cnf& reference)
+      : reference_(reference) {}
+
+  bool HasMismatch() const { return first_mismatch_ >= 0; }
+  std::int64_t first_mismatch() const { return first_mismatch_; }
+  const std::string& mismatch_detail() const { return mismatch_detail_; }
+
+ protected:
+  void DoEmit(const Lit* lits, std::size_t n) override {
+    if (first_mismatch_ >= 0) return;  // first divergence suffices
+    const std::size_t index = static_cast<std::size_t>(num_clauses_ - 1);
+    if (index >= reference_.num_clauses()) {
+      first_mismatch_ = static_cast<std::int64_t>(index);
+      mismatch_detail_ = "stream emits clause " + std::to_string(index) +
+                         " but the materialized CNF has only " +
+                         std::to_string(reference_.num_clauses());
+      return;
+    }
+    const Clause& expected = reference_.clauses()[index];
+    if (expected.size() != n ||
+        !std::equal(expected.begin(), expected.end(), lits)) {
+      first_mismatch_ = static_cast<std::int64_t>(index);
+      mismatch_detail_ = "streamed " + ClauseText(Clause(lits, lits + n)) +
+                         ", materialized " + ClauseText(expected);
+    }
+  }
+
+ private:
+  const sat::Cnf& reference_;
+  std::int64_t first_mismatch_ = -1;
+  std::string mismatch_detail_;
+};
+
+class SinkEquivalencePass final : public AnalysisPass {
+ public:
+  std::string_view name() const override {
+    return "encoding-sink-equivalence";
+  }
+  std::string_view description() const override {
+    return "streamed emission must replay the materialized CNF exactly";
+  }
+  bool Applicable(const AnalysisInput& input) const override {
+    return input.HasEncoding() && input.spec != nullptr;
+  }
+  void Run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    const EncodedColoring& enc = *input.encoded;
+    const std::vector<graph::VertexId> empty_sequence;
+    const std::vector<graph::VertexId>& seq =
+        input.symmetry_sequence ? *input.symmetry_sequence : empty_sequence;
+
+    VerifyAgainstCnfSink verify(enc.cnf);
+    const encode::ColoringLayout layout = encode::EncodeColoringToSink(
+        *input.conflict_graph, enc.num_colors, *input.spec, seq, verify);
+    verify.Finish();
+
+    if (verify.HasMismatch()) {
+      sink.Report("clause " + std::to_string(verify.first_mismatch()),
+                  "stream diverges from the materialized CNF: " +
+                      verify.mismatch_detail());
+    }
+    if (verify.num_clauses() != enc.cnf.num_clauses()) {
+      sink.Report("clause total",
+                  "stream emitted " + std::to_string(verify.num_clauses()) +
+                      " clauses, materialized CNF has " +
+                      std::to_string(enc.cnf.num_clauses()));
+    }
+    if (layout.num_vars != enc.cnf.num_vars() ||
+        verify.num_vars() != enc.cnf.num_vars()) {
+      sink.Report("num_vars",
+                  "stream declared " + std::to_string(layout.num_vars) +
+                      " variables, materialized CNF has " +
+                      std::to_string(enc.cnf.num_vars()));
+    }
+    if (layout.vertex_offset != enc.vertex_offset) {
+      sink.Report("vertex_offset",
+                  "streamed layout numbers vertex blocks differently from "
+                  "the materialized encoding");
+    }
+    if (encode::NumberingKey(layout.domain, layout.num_colors, seq) !=
+        encode::NumberingKey(enc.domain, enc.num_colors, seq)) {
+      sink.Report("NumberingKey",
+                  "streamed layout fingerprints differently from the "
+                  "materialized encoding; clause sharing would treat equal "
+                  "formulas as incompatible");
+    }
+    const std::uint64_t expected_total = encode::ExpectedColoringClauses(
+        *input.conflict_graph, enc.domain, enc.num_colors, seq.size());
+    if (expected_total != verify.num_clauses()) {
+      sink.Report("ExpectedColoringClauses",
+                  "reserve formula predicts " + std::to_string(expected_total) +
+                      " clauses, stream emitted " +
+                      std::to_string(verify.num_clauses()));
+    }
+  }
+};
+
 }  // namespace
 
 ExpectedDomainShape ComputeExpectedDomainShape(const EncodingSpec& spec,
@@ -596,6 +703,7 @@ void AddEncodingPasses(AnalysisRunner& runner) {
   runner.AddPass(std::make_unique<VertexStructurePass>());
   runner.AddPass(std::make_unique<ConflictEdgesPass>());
   runner.AddPass(std::make_unique<SymmetryPrefixPass>());
+  runner.AddPass(std::make_unique<SinkEquivalencePass>());
 }
 
 }  // namespace satfr::analysis

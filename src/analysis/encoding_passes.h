@@ -25,12 +25,13 @@ struct ExpectedDomainShape {
 ExpectedDomainShape ComputeExpectedDomainShape(
     const encode::EncodingSpec& spec, int domain_size);
 
-/// Registers the five encoding-contract passes:
+/// Registers the six encoding-contract passes:
 ///   encoding-clause-counts    (error) Table 1 / §4 clause + var counts
 ///   encoding-domain-semantics (error) every assignment selects >= 1 value
 ///   encoding-vertex-structure (error) per-vertex structural instantiation
 ///   encoding-conflict-edges   (error) conflict clauses <-> graph edges
 ///   encoding-symmetry-prefix  (error) b1/s1 prefix legality + NumberingKey
+///   encoding-sink-equivalence (error) streamed emission == materialized Cnf
 void AddEncodingPasses(AnalysisRunner& runner);
 
 }  // namespace satfr::analysis

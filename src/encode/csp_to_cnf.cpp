@@ -4,11 +4,26 @@
 
 namespace satfr::encode {
 
-EncodedColoring EncodeColoring(
+std::uint64_t ExpectedColoringClauses(const graph::Graph& g,
+                                      const DomainEncoding& domain,
+                                      int num_colors,
+                                      std::size_t symmetry_sequence_size) {
+  std::uint64_t total =
+      static_cast<std::uint64_t>(g.num_vertices()) * domain.structural.size();
+  total += static_cast<std::uint64_t>(g.num_edges()) *
+           static_cast<std::uint64_t>(num_colors);
+  for (std::size_t j = 0; j < symmetry_sequence_size; ++j) {
+    total += static_cast<std::uint64_t>(num_colors) - 1 - j;
+  }
+  return total;
+}
+
+ColoringLayout EncodeColoringToSink(
     const graph::Graph& g, int num_colors, const EncodingSpec& spec,
-    const std::vector<graph::VertexId>& symmetry_sequence) {
+    const std::vector<graph::VertexId>& symmetry_sequence,
+    sat::ClauseSink& sink) {
   assert(num_colors >= 1);
-  EncodedColoring out;
+  ColoringLayout out;
   out.num_colors = num_colors;
   out.domain = EncodeDomain(spec, num_colors);
 
@@ -18,13 +33,18 @@ EncodedColoring EncodeColoring(
     out.vertex_offset[static_cast<std::size_t>(v)] =
         static_cast<int>(v) * out.domain.num_vars;
   }
-  out.cnf.EnsureVars(static_cast<int>(n) * out.domain.num_vars);
+  out.num_vars = static_cast<int>(n) * out.domain.num_vars;
+  sink.EnsureVars(out.num_vars);
+  sink.ReserveClauses(ExpectedColoringClauses(g, out.domain, num_colors,
+                                              symmetry_sequence.size()));
+
+  sat::Clause scratch;
 
   // Per-vertex structural clauses.
   for (graph::VertexId v = 0; v < n; ++v) {
     const int offset = out.vertex_offset[static_cast<std::size_t>(v)];
     for (const sat::Clause& clause : out.domain.structural) {
-      out.cnf.AddClause(ShiftClause(clause, offset));
+      EmitShiftedClause(clause, offset, sink, scratch);
       ++out.stats.structural_clauses;
     }
   }
@@ -35,7 +55,7 @@ EncodedColoring EncodeColoring(
     const int offset_v = out.vertex_offset[static_cast<std::size_t>(v)];
     for (int d = 0; d < num_colors; ++d) {
       const Cube& cube = out.domain.value_cubes[static_cast<std::size_t>(d)];
-      out.cnf.AddClause(ConflictClause(cube, offset_u, cube, offset_v));
+      EmitConflictClause(cube, offset_u, cube, offset_v, sink, scratch);
       ++out.stats.conflict_clauses;
     }
   }
@@ -48,11 +68,22 @@ EncodedColoring EncodeColoring(
     const graph::VertexId v = symmetry_sequence[j];
     const int offset = out.vertex_offset[static_cast<std::size_t>(v)];
     for (int d = static_cast<int>(j) + 1; d < num_colors; ++d) {
-      out.cnf.AddClause(NegateCube(
-          out.domain.value_cubes[static_cast<std::size_t>(d)], offset));
+      EmitNegatedCube(out.domain.value_cubes[static_cast<std::size_t>(d)],
+                      offset, sink, scratch);
       ++out.stats.symmetry_clauses;
     }
   }
+  return out;
+}
+
+EncodedColoring EncodeColoring(
+    const graph::Graph& g, int num_colors, const EncodingSpec& spec,
+    const std::vector<graph::VertexId>& symmetry_sequence) {
+  EncodedColoring out;
+  sat::CnfCollectorSink sink(out.cnf);
+  static_cast<ColoringLayout&>(out) =
+      EncodeColoringToSink(g, num_colors, spec, symmetry_sequence, sink);
+  sink.Finish();
   return out;
 }
 
@@ -81,11 +112,11 @@ std::uint64_t NumberingKey(
   return h;
 }
 
-std::vector<int> DecodeColoring(const EncodedColoring& encoded,
+std::vector<int> DecodeColoring(const ColoringLayout& layout,
                                 const std::vector<bool>& model) {
-  std::vector<int> colors(encoded.vertex_offset.size(), -1);
-  for (std::size_t v = 0; v < encoded.vertex_offset.size(); ++v) {
-    colors[v] = DecodeValue(encoded.domain, encoded.vertex_offset[v], model);
+  std::vector<int> colors(layout.vertex_offset.size(), -1);
+  for (std::size_t v = 0; v < layout.vertex_offset.size(); ++v) {
+    colors[v] = DecodeValue(layout.domain, layout.vertex_offset[v], model);
   }
   return colors;
 }

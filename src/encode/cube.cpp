@@ -1,5 +1,7 @@
 #include "encode/cube.h"
 
+#include "sat/clause_sink.h"
+
 namespace satfr::encode {
 
 sat::Clause NegateCube(const Cube& cube, int var_offset) {
@@ -44,6 +46,48 @@ sat::Clause ShiftClause(const sat::Clause& clause, int var_offset) {
     out.push_back(sat::Lit::Make(l.var() + var_offset, l.negated()));
   }
   return out;
+}
+
+namespace {
+
+// Appends the literals of ShiftClause / NegateCube without emitting, so the
+// two-cube conflict clause can be built in one scratch buffer.
+void AppendShifted(const sat::Clause& clause, int var_offset,
+                   sat::Clause& scratch) {
+  for (const sat::Lit l : clause) {
+    scratch.push_back(sat::Lit::Make(l.var() + var_offset, l.negated()));
+  }
+}
+
+void AppendNegated(const Cube& cube, int var_offset, sat::Clause& scratch) {
+  for (const sat::Lit l : cube) {
+    scratch.push_back(~sat::Lit::Make(l.var() + var_offset, l.negated()));
+  }
+}
+
+}  // namespace
+
+void EmitShiftedClause(const sat::Clause& clause, int var_offset,
+                       sat::ClauseSink& sink, sat::Clause& scratch) {
+  scratch.clear();
+  AppendShifted(clause, var_offset, scratch);
+  sink.EmitClause(scratch);
+}
+
+void EmitNegatedCube(const Cube& cube, int var_offset, sat::ClauseSink& sink,
+                     sat::Clause& scratch) {
+  scratch.clear();
+  AppendNegated(cube, var_offset, scratch);
+  sink.EmitClause(scratch);
+}
+
+void EmitConflictClause(const Cube& a, int offset_a, const Cube& b,
+                        int offset_b, sat::ClauseSink& sink,
+                        sat::Clause& scratch) {
+  scratch.clear();
+  AppendNegated(a, offset_a, scratch);
+  AppendNegated(b, offset_b, scratch);
+  sink.EmitClause(scratch);
 }
 
 }  // namespace satfr::encode

@@ -15,6 +15,10 @@
 
 #include "sat/types.h"
 
+namespace satfr::sat {
+class ClauseSink;
+}
+
 namespace satfr::encode {
 
 /// A conjunction of literals over encoder-local variables 0..n-1.
@@ -40,5 +44,23 @@ Cube ConcatCubes(const Cube& a, const Cube& b, int b_offset);
 
 /// Shifts every variable in the clause by `var_offset`.
 sat::Clause ShiftClause(const sat::Clause& clause, int var_offset);
+
+// Streaming variants: build the shifted clause in `scratch` (capacity reused
+// across calls) and emit it into `sink`, producing the exact literal order
+// of the materializing functions above. These are the inner loops of
+// EncodeColoringToSink.
+
+/// Emits ShiftClause(clause, var_offset) into `sink`.
+void EmitShiftedClause(const sat::Clause& clause, int var_offset,
+                       sat::ClauseSink& sink, sat::Clause& scratch);
+
+/// Emits NegateCube(cube, var_offset) into `sink`.
+void EmitNegatedCube(const Cube& cube, int var_offset, sat::ClauseSink& sink,
+                     sat::Clause& scratch);
+
+/// Emits ConflictClause(a, offset_a, b, offset_b) into `sink`.
+void EmitConflictClause(const Cube& a, int offset_a, const Cube& b,
+                        int offset_b, sat::ClauseSink& sink,
+                        sat::Clause& scratch);
 
 }  // namespace satfr::encode

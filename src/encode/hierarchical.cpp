@@ -97,6 +97,8 @@ DomainEncoding EncodeDomain(const EncodingSpec& spec, int domain_size) {
   domain.exactly_one = top_enc.exactly_one && bottom_enc.exactly_one;
   domain.value_cubes.resize(static_cast<std::size_t>(domain_size));
   domain.structural = top_enc.structural;
+  domain.structural.reserve(top_enc.structural.size() +
+                            bottom_enc.structural.size());
   for (const sat::Clause& clause : bottom_enc.structural) {
     domain.structural.push_back(ShiftClause(clause, bottom_offset));
   }

@@ -75,6 +75,7 @@ std::unique_ptr<IteTreeNode> BuildBalancedIteTree(int count) {
 std::vector<Cube> TreeCubes(const IteTreeNode& root, int count) {
   std::vector<Cube> cubes(static_cast<std::size_t>(count));
   Cube path;
+  path.reserve(static_cast<std::size_t>(TreeMaxDepth(root)));
   CollectCubes(root, path, cubes);
   return cubes;
 }

@@ -56,6 +56,7 @@ LevelEncoding LogEncoder::Encode(int count) const {
     enc.cubes.push_back(std::move(cube));
   }
   // Exclude the unused patterns in [count, 2^bits).
+  enc.structural.reserve(static_cast<std::size_t>((1 << bits) - count));
   for (int illegal = count; illegal < (1 << bits); ++illegal) {
     sat::Clause clause;
     clause.reserve(static_cast<std::size_t>(bits));
@@ -73,14 +74,18 @@ LevelEncoding DirectEncoder::Encode(int count) const {
   LevelEncoding enc;
   enc.num_vars = count;
   enc.exactly_one = true;
+  enc.cubes.reserve(static_cast<std::size_t>(count));
   for (int value = 0; value < count; ++value) {
     enc.cubes.push_back(Cube{sat::Lit::Pos(value)});
   }
   // At-least-one.
   sat::Clause alo;
+  alo.reserve(static_cast<std::size_t>(count));
   for (int value = 0; value < count; ++value) {
     alo.push_back(sat::Lit::Pos(value));
   }
+  enc.structural.reserve(1 +
+                         static_cast<std::size_t>(count) * (count - 1) / 2);
   enc.structural.push_back(std::move(alo));
   // Pairwise at-most-one.
   for (int i = 0; i < count; ++i) {
@@ -96,10 +101,12 @@ LevelEncoding MuldirectEncoder::Encode(int count) const {
   LevelEncoding enc;
   enc.num_vars = count;
   enc.exactly_one = false;
+  enc.cubes.reserve(static_cast<std::size_t>(count));
   for (int value = 0; value < count; ++value) {
     enc.cubes.push_back(Cube{sat::Lit::Pos(value)});
   }
   sat::Clause alo;
+  alo.reserve(static_cast<std::size_t>(count));
   for (int value = 0; value < count; ++value) {
     alo.push_back(sat::Lit::Pos(value));
   }

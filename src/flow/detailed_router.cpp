@@ -6,6 +6,7 @@
 #include "analysis/runner.h"
 #include "flow/conflict_graph.h"
 #include "flow/track_checker.h"
+#include "sat/clause_sink.h"
 #include "sat/rup_checker.h"
 
 namespace satfr::flow {
@@ -27,31 +28,6 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
   Stopwatch encode_watch;
   const std::vector<graph::VertexId> sequence = symmetry::SymmetrySequence(
       conflict_graph, num_tracks, options.heuristic);
-  const encode::EncodedColoring encoded = encode::EncodeColoring(
-      conflict_graph, num_tracks, options.encoding, sequence);
-  result.cnf_vars = encoded.cnf.num_vars();
-  result.cnf_clauses = encoded.cnf.num_clauses();
-
-  if (options.selfcheck) {
-    const analysis::AnalysisRunner runner = analysis::MakeDefaultRunner();
-    analysis::AnalysisInput lint_input;
-    lint_input.cnf = &encoded.cnf;
-    lint_input.conflict_graph = &conflict_graph;
-    lint_input.encoded = &encoded;
-    lint_input.spec = &options.encoding;
-    lint_input.symmetry_sequence = &sequence;
-    lint_input.routing = routing;
-    analysis::AnalysisReport report = runner.Run(lint_input);
-    const bool broken = report.HasErrors();
-    result.lint = std::move(report.diagnostics);
-    if (broken) {
-      // Never hand a formula that violates its own encoding contract to the
-      // solver: its answer would say nothing about the routing instance.
-      result.encode_seconds = encode_watch.Seconds();
-      result.status = sat::SolveResult::kUnknown;
-      return result;
-    }
-  }
 
   sat::Solver solver(options.solver);
   std::vector<sat::Clause> proof;
@@ -59,7 +35,62 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
   if (options.exchange != nullptr && options.exchange_participant >= 0) {
     solver.SetClauseExchange(options.exchange, options.exchange_participant);
   }
-  const bool consistent = solver.AddCnf(encoded.cnf);
+
+  // The lint passes re-walk the CNF and the RUP checker re-propagates it, so
+  // both need the materialized formula; everyone else streams the encoder
+  // straight into the solver and never holds an intermediate Cnf.
+  const bool materialize = options.selfcheck || options.verify_unsat_proof;
+  encode::ColoringLayout layout;
+  encode::EncodedColoring encoded;
+  bool consistent = true;
+  if (materialize) {
+    encoded = encode::EncodeColoring(conflict_graph, num_tracks,
+                                     options.encoding, sequence);
+    if (options.selfcheck) {
+      const analysis::AnalysisRunner runner = analysis::MakeDefaultRunner();
+      analysis::AnalysisInput lint_input;
+      lint_input.cnf = &encoded.cnf;
+      lint_input.conflict_graph = &conflict_graph;
+      lint_input.encoded = &encoded;
+      lint_input.spec = &options.encoding;
+      lint_input.symmetry_sequence = &sequence;
+      lint_input.routing = routing;
+      analysis::AnalysisReport report = runner.Run(lint_input);
+      const bool broken = report.HasErrors();
+      result.lint = std::move(report.diagnostics);
+      if (broken) {
+        // Never hand a formula that violates its own encoding contract to
+        // the solver: its answer would say nothing about the routing
+        // instance.
+        result.encode_seconds = encode_watch.Seconds();
+        result.status = sat::SolveResult::kUnknown;
+        return result;
+      }
+    }
+    consistent = solver.AddCnf(encoded.cnf);
+    layout = std::move(static_cast<encode::ColoringLayout&>(encoded));
+  } else {
+    sat::SolverSink direct(solver);
+    if (options.inline_simplify) {
+      sat::SimplifyingSink simplify(direct);
+      layout = encode::EncodeColoringToSink(
+          conflict_graph, num_tracks, options.encoding, sequence, simplify);
+      layout.stats.simplify_dropped_clauses =
+          simplify.stats().DroppedClauses();
+      layout.stats.simplify_eliminated_literals =
+          simplify.stats().eliminated_literals;
+      layout.stats.simplify_fixed_units = simplify.stats().fixed_units;
+      consistent = simplify.Finish();
+    } else {
+      layout = encode::EncodeColoringToSink(
+          conflict_graph, num_tracks, options.encoding, sequence, direct);
+      consistent = direct.Finish();
+    }
+    result.streamed_encode = true;
+  }
+  result.cnf_vars = layout.num_vars;
+  result.cnf_clauses = layout.stats.TotalEmitted();
+  result.encode_stats = layout.stats;
   result.encode_seconds = encode_watch.Seconds();
 
   Stopwatch solve_watch;
@@ -75,7 +106,7 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
   result.solver_stats = solver.stats();
 
   if (result.status == sat::SolveResult::kSat) {
-    result.tracks = encode::DecodeColoring(encoded, solver.model());
+    result.tracks = encode::DecodeColoring(layout, solver.model());
     assert(conflict_graph.IsProperColoring(result.tracks) &&
            "decoded model must be a proper coloring");
   } else if (result.status == sat::SolveResult::kUnsat &&

@@ -45,7 +45,15 @@ struct DetailedRouteOptions {
   /// DetailedRouteResult::lint; any error-severity finding aborts the run
   /// with status kUnknown instead of handing a broken formula to the
   /// solver. Debug aid; off by default (linting re-walks the whole CNF).
+  /// Forces the materializing encode path (the passes need the Cnf).
   bool selfcheck = false;
+  /// Chain a SimplifyingSink in front of the solver on the streaming path:
+  /// unit-propagation/duplicate/tautology filtering happens clause by
+  /// clause before the solver sees the stream. Elimination counts land in
+  /// DetailedRouteResult::encode_stats. Ignored on the materialized path
+  /// (selfcheck / verify_unsat_proof), where the solver must see the exact
+  /// encoder output for the lint passes and the RUP checker.
+  bool inline_simplify = false;
 };
 
 struct DetailedRouteResult {
@@ -67,6 +75,14 @@ struct DetailedRouteResult {
   int cnf_vars = 0;
   std::size_t cnf_clauses = 0;
   sat::SolverStats solver_stats;
+
+  /// True when the encoder streamed clauses straight into the solver (the
+  /// default); false when a Cnf was materialized because selfcheck or
+  /// verify_unsat_proof needed it.
+  bool streamed_encode = false;
+  /// Per-category clause counts of the encoding (and, with inline_simplify,
+  /// the simplifier's elimination counts).
+  encode::ColoringCnfStats encode_stats;
 
   /// Set only when options.verify_unsat_proof and status == kUnsat:
   /// true iff the solver's refutation passed the independent RUP checker.

@@ -6,6 +6,7 @@
 #include "common/stopwatch.h"
 #include "encode/csp_to_cnf.h"
 #include "graph/coloring_bounds.h"
+#include "sat/clause_sink.h"
 
 namespace satfr::flow {
 
@@ -22,33 +23,37 @@ IncrementalMinWidthResult FindMinimumWidthIncremental(
 
   const auto sequence = symmetry::SymmetrySequence(conflict_graph, k_max,
                                                    options.heuristic);
-  encode::EncodedColoring encoded =
-      EncodeColoring(conflict_graph, k_max, options.encoding, sequence);
+
+  // Stream the base encoding and the guard ladder straight into the solver —
+  // the incremental flow never needs a materialized Cnf.
+  sat::Solver solver(options.solver);
+  sat::SolverSink sink(solver);
+  const encode::ColoringLayout layout = encode::EncodeColoringToSink(
+      conflict_graph, k_max, options.encoding, sequence, sink);
 
   // Guard ladder: g_W (for W in [start, k_max)) forbids color W everywhere
   // and implies g_{W+1}.
   std::vector<sat::Var> guard(static_cast<std::size_t>(k_max), -1);
   for (int w = start; w < k_max; ++w) {
-    guard[static_cast<std::size_t>(w)] = encoded.cnf.NewVar();
+    guard[static_cast<std::size_t>(w)] = sink.EmitVar();
   }
+  sat::Clause scratch;
   for (int w = start; w < k_max; ++w) {
     const sat::Var g = guard[static_cast<std::size_t>(w)];
     if (w + 1 < k_max) {
-      encoded.cnf.AddBinary(sat::Lit::Neg(g),
-                            sat::Lit::Pos(guard[static_cast<std::size_t>(
-                                w + 1)]));
+      sink.EmitBinary(sat::Lit::Neg(g),
+                      sat::Lit::Pos(guard[static_cast<std::size_t>(w + 1)]));
     }
-    for (std::size_t v = 0; v < encoded.vertex_offset.size(); ++v) {
-      sat::Clause clause = encode::NegateCube(
-          encoded.domain.value_cubes[static_cast<std::size_t>(w)],
-          encoded.vertex_offset[v]);
-      clause.push_back(sat::Lit::Neg(g));
-      encoded.cnf.AddClause(std::move(clause));
+    for (std::size_t v = 0; v < layout.vertex_offset.size(); ++v) {
+      scratch = encode::NegateCube(
+          layout.domain.value_cubes[static_cast<std::size_t>(w)],
+          layout.vertex_offset[v]);
+      scratch.push_back(sat::Lit::Neg(g));
+      sink.EmitClause(scratch);
     }
   }
 
-  sat::Solver solver(options.solver);
-  if (!solver.AddCnf(encoded.cnf)) {
+  if (!sink.Finish()) {
     // Encoding contradictory without any guard: no width up to k_max works,
     // which cannot happen (k_max is DSATUR-certified). Defensive bail-out.
     result.total_seconds = stopwatch.Seconds();
@@ -71,7 +76,7 @@ IncrementalMinWidthResult FindMinimumWidthIncremental(
     if (status == sat::SolveResult::kSat) {
       result.min_width = w;
       result.proven_optimal = true;  // every smaller width was refuted
-      result.tracks = encode::DecodeColoring(encoded, solver.model());
+      result.tracks = encode::DecodeColoring(layout, solver.model());
       assert(conflict_graph.IsProperColoring(result.tracks));
       for (const int track : result.tracks) {
         assert(track < w);

@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "encode/csp_to_cnf.h"
 #include "encode/hierarchical.h"
+#include "sat/clause_sink.h"
 #include "sat/walksat.h"
 
 namespace satfr::portfolio {
@@ -26,24 +28,31 @@ flow::DetailedRouteResult RunWalkSatStrategy(
   Stopwatch watch;
   const auto sequence = symmetry::SymmetrySequence(
       conflict_graph, num_tracks, strategy.heuristic);
-  const encode::EncodedColoring encoded =
-      EncodeColoring(conflict_graph, num_tracks,
-                     encode::GetEncoding(strategy.encoding_name), sequence);
+  // WalkSAT flips against the clause list in place, so this is the one
+  // strategy that still needs the formula materialized: collect the stream
+  // into a Cnf explicitly.
+  sat::Cnf cnf;
+  sat::CnfCollectorSink collector(cnf);
+  const encode::ColoringLayout layout = encode::EncodeColoringToSink(
+      conflict_graph, num_tracks,
+      encode::GetEncoding(strategy.encoding_name), sequence, collector);
+  collector.Finish();
   result.conflict_vertices = conflict_graph.num_vertices();
   result.conflict_edges = conflict_graph.num_edges();
-  result.cnf_vars = encoded.cnf.num_vars();
-  result.cnf_clauses = encoded.cnf.num_clauses();
+  result.cnf_vars = cnf.num_vars();
+  result.cnf_clauses = cnf.num_clauses();
+  result.encode_stats = layout.stats;
   result.encode_seconds = watch.Seconds();
 
   Stopwatch solve_watch;
-  sat::WalkSat walksat(encoded.cnf);
+  sat::WalkSat walksat(cnf);
   const Deadline deadline = timeout_seconds > 0.0
                                 ? Deadline::After(timeout_seconds)
                                 : Deadline::Infinite();
   result.status = walksat.Solve(deadline, stop);
   result.solve_seconds = solve_watch.Seconds();
   if (result.status == sat::SolveResult::kSat) {
-    result.tracks = encode::DecodeColoring(encoded, walksat.model());
+    result.tracks = encode::DecodeColoring(layout, walksat.model());
   }
   return result;
 }

@@ -17,6 +17,7 @@ void Cnf::AddClause(Clause clause) {
 
 void Cnf::Append(const Cnf& other, int var_offset) {
   EnsureVars(var_offset + other.num_vars());
+  clauses_.reserve(clauses_.size() + other.clauses_.size());
   for (const Clause& clause : other.clauses_) {
     Clause shifted;
     shifted.reserve(clause.size());
@@ -31,6 +32,14 @@ std::size_t Cnf::num_literals() const {
   std::size_t total = 0;
   for (const Clause& clause : clauses_) total += clause.size();
   return total;
+}
+
+std::size_t Cnf::ApproxHeapBytes() const {
+  std::size_t bytes = clauses_.capacity() * sizeof(Clause);
+  for (const Clause& clause : clauses_) {
+    bytes += clause.capacity() * sizeof(Lit);
+  }
+  return bytes;
 }
 
 std::size_t Cnf::NumClausesOfSize(std::size_t length) const {

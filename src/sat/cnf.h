@@ -40,6 +40,11 @@ class Cnf {
   /// Appends a clause; variables must already be allocated.
   void AddClause(Clause clause);
 
+  /// Reserves storage for at least `n` clauses (cuts reallocation churn
+  /// when the final clause count is known up front, e.g. from the Table 1
+  /// formulas or a CountingSink pre-pass).
+  void ReserveClauses(std::size_t n) { clauses_.reserve(n); }
+
   /// Appends a clause without the allocated-variable assertion. Exists for
   /// tooling that must *represent* ill-formed input (the satlint passes
   /// detect out-of-range literals rather than crash on them); encoders and
@@ -61,6 +66,11 @@ class Cnf {
 
   /// Total literal count across clauses.
   std::size_t num_literals() const;
+
+  /// Approximate heap footprint of the clause storage in bytes (vector
+  /// capacities, not sizes) — what the streaming solve path avoids keeping
+  /// resident.
+  std::size_t ApproxHeapBytes() const;
 
   /// Number of clauses with exactly `length` literals.
   std::size_t NumClausesOfSize(std::size_t length) const;

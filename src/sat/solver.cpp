@@ -142,6 +142,20 @@ Var Solver::NewVar() {
   return v;
 }
 
+void Solver::EnsureVars(int n) {
+  if (n <= num_vars()) return;
+  const std::size_t count = static_cast<std::size_t>(n);
+  assigns_.reserve(count);
+  saved_phase_.reserve(count);
+  level_.reserve(count);
+  reason_.reserve(count);
+  activity_.reserve(count);
+  seen_.reserve(count);
+  watches_.reserve(2 * count);
+  binary_watches_.reserve(2 * count);
+  while (num_vars() < n) NewVar();
+}
+
 Solver::ClauseRef Solver::AllocClause(const Clause& lits, bool learnt) {
   const std::uint32_t extra = learnt ? 3u : 1u;
   const ClauseRef cref = static_cast<ClauseRef>(arena_.size());
@@ -211,55 +225,76 @@ void Solver::RemoveClause(ClauseRef cref) {
 }
 
 bool Solver::AddClause(Clause clause) {
+  return AddClause(clause.data(), clause.size());
+}
+
+bool Solver::AddClause(const Lit* lits, std::size_t n) {
   assert(DecisionLevel() == 0);
   if (!ok_) return false;
-  for (const Lit l : clause) {
+  add_scratch_.assign(lits, lits + n);
+  for (const Lit l : add_scratch_) {
     assert(l.IsValid() && l.var() < num_vars());
     (void)l;
   }
-  // Simplify against the level-0 assignment; drop duplicates/tautologies.
-  std::sort(clause.begin(), clause.end());
-  Clause simplified;
+  // Simplify in place against the level-0 assignment; drop duplicates and
+  // tautologies. The scratch buffer keeps its capacity across calls, so
+  // streaming emission (SolverSink) adds clauses without heap traffic.
+  std::sort(add_scratch_.begin(), add_scratch_.end());
+  std::size_t out = 0;
   Lit previous = kUndefLit;
-  for (const Lit l : clause) {
+  for (std::size_t i = 0; i < add_scratch_.size(); ++i) {
+    const Lit l = add_scratch_[i];
     const LBool value = Value(l);
     if (value == LBool::kTrue || l == ~previous) return true;  // satisfied
     if (value != LBool::kFalse && l != previous) {
-      simplified.push_back(l);
+      add_scratch_[out++] = l;
       previous = l;
     }
   }
+  const bool strengthened = out < add_scratch_.size();
+  add_scratch_.resize(out);
   // Strengthened clauses are RUP consequences of the database; log them so
   // the proof checker sees exactly what the solver will propagate on.
-  if (proof_log_ && simplified.size() < clause.size()) {
-    proof_log_->push_back(simplified);
+  if (proof_log_ && strengthened) {
+    proof_log_->push_back(add_scratch_);
   }
-  if (simplified.empty()) {
+  if (add_scratch_.empty()) {
     ok_ = false;
     return false;
   }
-  if (simplified.size() == 1) {
-    UncheckedEnqueue(simplified[0], kNoClause);
+  if (add_scratch_.size() == 1) {
+    UncheckedEnqueue(add_scratch_[0], kNoClause);
     ok_ = (Propagate() == kNoClause);
     if (!ok_ && proof_log_) proof_log_->push_back(Clause{});
     return ok_;
   }
-  if (simplified.size() == 2) {
-    AttachBinary(simplified[0], simplified[1]);
+  if (add_scratch_.size() == 2) {
+    AttachBinary(add_scratch_[0], add_scratch_[1]);
     return true;
   }
-  const ClauseRef cref = AllocClause(simplified, /*learnt=*/false);
+  const ClauseRef cref = AllocClause(add_scratch_, /*learnt=*/false);
   clauses_.push_back(cref);
   AttachClause(cref);
   return true;
 }
 
 bool Solver::AddCnf(const Cnf& cnf) {
-  while (num_vars() < cnf.num_vars()) NewVar();
+  EnsureVars(cnf.num_vars());
   for (const Clause& clause : cnf.clauses()) {
     if (!AddClause(clause)) return false;
   }
   return true;
+}
+
+std::size_t Solver::ClauseMemoryBytes() const {
+  std::size_t bytes = arena_.capacity() * sizeof(std::uint32_t);
+  for (const auto& list : binary_watches_) {
+    bytes += list.capacity() * sizeof(Lit);
+  }
+  for (const auto& list : watches_) {
+    bytes += list.capacity() * sizeof(Watcher);
+  }
+  return bytes;
 }
 
 void Solver::UncheckedEnqueue(Lit p, ClauseRef from) {

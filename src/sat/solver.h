@@ -113,11 +113,20 @@ class Solver {
   /// Allocates a fresh variable.
   Var NewVar();
 
+  /// Grows the variable count to at least `n` (no-op if already larger),
+  /// reserving the per-variable arrays up front — the bulk entry point for
+  /// streaming clause emission (sat/clause_sink.h).
+  void EnsureVars(int n);
+
   int num_vars() const { return static_cast<int>(assigns_.size()); }
 
   /// Adds a clause (simplified against the level-0 assignment). Returns
   /// false if the formula became trivially unsatisfiable.
   bool AddClause(Clause clause);
+
+  /// Span overload: copies from the caller's buffer into reused internal
+  /// scratch — no per-clause allocation. The hot path of SolverSink.
+  bool AddClause(const Lit* lits, std::size_t n);
 
   /// Adds every clause of `cnf`, allocating variables as needed.
   /// Returns false if the formula became trivially unsatisfiable.
@@ -148,6 +157,12 @@ class Solver {
 
   /// False once the clause set has been proven unsatisfiable.
   bool okay() const { return ok_; }
+
+  /// Approximate heap footprint of the clause storage in bytes: arena,
+  /// binary-implication lists, and watch lists (capacities, not sizes).
+  /// Basis for the collector-vs-direct peak-memory comparison in the
+  /// benches.
+  std::size_t ClauseMemoryBytes() const;
 
   /// Full consistency scan over the solver's internal state: per-variable
   /// array sizes, trail/decision-level well-formedness, reason soundness
@@ -354,6 +369,9 @@ class Solver {
   ClauseExchange* exchange_ = nullptr;
   int exchange_participant_ = -1;
   std::vector<Clause> import_buffer_;
+
+  // Scratch for the span AddClause (capacity reused across calls).
+  Clause add_scratch_;
 
   // Scratch for Analyze.
   std::vector<char> seen_;

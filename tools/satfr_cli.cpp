@@ -21,9 +21,13 @@
 //   --width N
 //   --selfcheck       run the satlint pipeline over every encoded CNF
 //                     before solving; abort on error-severity findings
+//   --dimacs-out FILE (export only) stream the CNF to FILE instead of the
+//                     default <benchmark>_w<W>.cnf; the formula goes to
+//                     disk clause by clause and is never held in memory
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +42,7 @@
 #include "netlist/netlist_io.h"
 #include "route/global_router.h"
 #include "route/routing_io.h"
+#include "sat/clause_sink.h"
 #include "sat/dimacs.h"
 #include "sat/walksat.h"
 
@@ -51,6 +56,7 @@ struct CliOptions {
   std::string solver = "siege";
   std::string routing_file;
   std::string save_routing_file;
+  std::string dimacs_out;
   double timeout = 300.0;
   int width = -1;
   bool selfcheck = false;
@@ -88,6 +94,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.routing_file = next();
     } else if (arg == "--save-routing") {
       opts.save_routing_file = next();
+    } else if (arg == "--dimacs-out") {
+      opts.dimacs_out = next();
     } else if (arg == "--selfcheck") {
       opts.selfcheck = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -233,17 +241,31 @@ int CmdExport(const CliOptions& opts) {
                             {"satfr conflict graph: " + name});
   const auto sequence = symmetry::SymmetrySequence(
       loaded.conflict, width, symmetry::HeuristicFromName(opts.sym));
-  const auto enc = encode::EncodeColoring(
-      loaded.conflict, width, encode::GetEncoding(opts.encoding), sequence);
-  const std::string cnf_path = name + "_w" + std::to_string(width) + ".cnf";
-  sat::WriteDimacsFile(enc.cnf, cnf_path,
-                       {"satfr: " + name + " W=" + std::to_string(width) +
-                        " encoding=" + opts.encoding + " sym=" + opts.sym});
-  std::printf("wrote %s (%d vertices, %zu edges) and %s (%d vars, %zu "
+  // Stream the encoder straight to disk: the formula is never materialized,
+  // so exports are bounded by the file size rather than memory.
+  const std::string cnf_path =
+      opts.dimacs_out.empty() ? name + "_w" + std::to_string(width) + ".cnf"
+                              : opts.dimacs_out;
+  std::ofstream cnf_out(cnf_path, std::ios::binary);
+  if (!cnf_out) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", cnf_path.c_str());
+    return 2;
+  }
+  sat::StreamingDimacsSink sink(
+      cnf_out, {"satfr: " + name + " W=" + std::to_string(width) +
+                " encoding=" + opts.encoding + " sym=" + opts.sym});
+  encode::EncodeColoringToSink(loaded.conflict, width,
+                               encode::GetEncoding(opts.encoding), sequence,
+                               sink);
+  if (!sink.Finish()) {
+    std::fprintf(stderr, "write to '%s' failed\n", cnf_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s (%d vertices, %zu edges) and %s (%d vars, %llu "
               "clauses)\n",
               col_path.c_str(), loaded.conflict.num_vertices(),
-              loaded.conflict.num_edges(), cnf_path.c_str(),
-              enc.cnf.num_vars(), enc.cnf.num_clauses());
+              loaded.conflict.num_edges(), cnf_path.c_str(), sink.num_vars(),
+              static_cast<unsigned long long>(sink.num_clauses()));
   return 0;
 }
 

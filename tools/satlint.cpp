@@ -9,8 +9,10 @@
 //                                     graph, encode, and lint the result
 //
 // Options:
-//   --encoding NAME|all   encoding to check ("all" = the 14 evaluated ones;
-//                         default ITE-linear-2+muldirect)
+//   --encoding NAME|all|evaluated
+//                         encoding to check ("all" = every registered
+//                         encoding from encode::registry, "evaluated" = the
+//                         paper's 14; default ITE-linear-2+muldirect)
 //   --sym b1|s1|none      symmetry-breaking heuristic (default s1)
 //   --width K             colors / tracks (default: peak congestion)
 //   --json                machine-readable report
@@ -58,7 +60,8 @@ struct LintOptions {
                "  satlint cnf <file.cnf>\n"
                "  satlint col <file.col> [--width K]\n"
                "  satlint encode <benchmark> [--width K]\n"
-               "options: --encoding NAME|all  --sym b1|s1|none  --json\n"
+               "options: --encoding NAME|all|evaluated  --sym b1|s1|none"
+               "  --json\n"
                "         --disable PASS  --severity PASS=info|warning|error\n"
                "  see the header of tools/satlint.cpp or README.md\n");
   std::exit(2);
@@ -145,12 +148,19 @@ int RunAndReport(const analysis::AnalysisRunner& runner,
   return report.HasErrors() ? 1 : 0;
 }
 
+/// Encodings selected by --encoding: "all" covers every registered encoding
+/// (derived from the registry, so extensions are linted automatically),
+/// "evaluated" the paper's 14, anything else a single name.
+std::vector<std::string> SelectedEncodings(const std::string& encoding) {
+  if (encoding == "all") return encode::AllEncodingNames();
+  if (encoding == "evaluated") return encode::EvaluatedEncodingNames();
+  return {encoding};
+}
+
 /// Encodes `g` with every requested encoding and lints each result.
 int LintEncodings(const graph::Graph& g, int width, const LintOptions& opts,
                   const route::GlobalRouting* routing) {
-  const std::vector<std::string> names =
-      opts.encoding == "all" ? encode::EvaluatedEncodingNames()
-                             : std::vector<std::string>{opts.encoding};
+  const std::vector<std::string> names = SelectedEncodings(opts.encoding);
   const analysis::AnalysisRunner runner = MakeRunner(opts);
   const std::vector<graph::VertexId> sequence = symmetry::SymmetrySequence(
       g, width, symmetry::HeuristicFromName(opts.sym));
