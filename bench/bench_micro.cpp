@@ -196,15 +196,18 @@ void BM_SolverPigeonhole(benchmark::State& state) {
 }
 BENCHMARK(BM_SolverPigeonhole)->Arg(5)->Arg(7);
 
-// Direct-encoded unroutable (W = W*-1) MCNC routing instance: the clause
-// profile the binary-implication layer targets (>95% binary clauses).
+// Unroutable (W = W*-1) MCNC routing instance under a chosen encoding.
+// The direct encoding yields the clause profile the binary-implication
+// layer targets (>95% binary clauses); ITE-linear-2+muldirect is the
+// paper's best strategy and exercises the long-clause watchers too.
 // Building the instance needs a min-width search, so it is cached across
 // benchmark registrations and iterations.
-const encode::EncodedColoring& UnroutableDirectInstance(
-    const std::string& name) {
+const encode::EncodedColoring& UnroutableInstance(
+    const std::string& name, const std::string& encoding) {
   static std::map<std::string, encode::EncodedColoring>* cache =
       new std::map<std::string, encode::EncodedColoring>();
-  const auto it = cache->find(name);
+  const std::string key = name + "/" + encoding;
+  const auto it = cache->find(key);
   if (it != cache->end()) return it->second;
 
   const netlist::McncBenchmark bench = netlist::GenerateMcncBenchmark(name);
@@ -225,24 +228,29 @@ const encode::EncodedColoring& UnroutableDirectInstance(
   const auto sequence =
       symmetry::SymmetrySequence(conflict, width, symmetry::Heuristic::kS1);
   return cache
-      ->emplace(name, encode::EncodeColoring(
-                          conflict, width, encode::GetEncoding("direct"),
-                          sequence))
+      ->emplace(key, encode::EncodeColoring(conflict, width,
+                                            encode::GetEncoding(encoding),
+                                            sequence))
       .first->second;
 }
 
-void BM_SolverRoutingUnsat(benchmark::State& state, const std::string& name) {
-  const encode::EncodedColoring& encoded = UnroutableDirectInstance(name);
+void BM_SolverRoutingUnsat(benchmark::State& state, const std::string& name,
+                           const std::string& encoding,
+                           const sat::SolverOptions& options) {
+  const encode::EncodedColoring& encoded = UnroutableInstance(name, encoding);
   std::uint64_t propagations = 0;
   std::uint64_t binary_propagations = 0;
   double solve_seconds = 0.0;
+  std::size_t peak_clause_bytes = 0;
   for (auto _ : state) {
-    sat::Solver solver;
+    sat::Solver solver(options);
     solver.AddCnf(encoded.cnf);
     benchmark::DoNotOptimize(solver.Solve());
     propagations += solver.stats().propagations;
     binary_propagations += solver.stats().binary_propagations;
     solve_seconds += solver.stats().solve_seconds;
+    peak_clause_bytes = std::max(peak_clause_bytes,
+                                 solver.ClauseMemoryBytes());
   }
   if (solve_seconds > 0.0) {
     state.counters["props/s"] =
@@ -250,12 +258,62 @@ void BM_SolverRoutingUnsat(benchmark::State& state, const std::string& name) {
     state.counters["bin_props/s"] =
         static_cast<double>(binary_propagations) / solve_seconds;
   }
+  state.counters["clause_KiB"] =
+      static_cast<double>(peak_clause_bytes) / 1024.0;
 }
-BENCHMARK_CAPTURE(BM_SolverRoutingUnsat, alu2_direct_s1, std::string("alu2"))
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SolverRoutingUnsat, too_large_direct_s1,
-                  std::string("too_large"))
-    ->Unit(benchmark::kMillisecond);
+
+// The W*-1 suite of ISSUE 5: {alu2, alu4, too_large} x {direct,
+// ITE-linear-2+muldirect}, all under s1 symmetry breaking.
+#define SATFR_ROUTING_UNSAT_SUITE(config_name, options)                     \
+  BENCHMARK_CAPTURE(BM_SolverRoutingUnsat, alu2_direct_s1_##config_name,    \
+                    std::string("alu2"), std::string("direct"), options)    \
+      ->Unit(benchmark::kMillisecond);                                      \
+  BENCHMARK_CAPTURE(BM_SolverRoutingUnsat, alu4_direct_s1_##config_name,    \
+                    std::string("alu4"), std::string("direct"), options)    \
+      ->Unit(benchmark::kMillisecond);                                      \
+  BENCHMARK_CAPTURE(BM_SolverRoutingUnsat,                                  \
+                    too_large_direct_s1_##config_name,                      \
+                    std::string("too_large"), std::string("direct"),        \
+                    options)                                                \
+      ->Unit(benchmark::kMillisecond);                                      \
+  BENCHMARK_CAPTURE(BM_SolverRoutingUnsat, alu2_ite2md_s1_##config_name,    \
+                    std::string("alu2"),                                    \
+                    std::string("ITE-linear-2+muldirect"), options)         \
+      ->Unit(benchmark::kMillisecond);                                      \
+  BENCHMARK_CAPTURE(BM_SolverRoutingUnsat, alu4_ite2md_s1_##config_name,    \
+                    std::string("alu4"),                                    \
+                    std::string("ITE-linear-2+muldirect"), options)         \
+      ->Unit(benchmark::kMillisecond);                                      \
+  BENCHMARK_CAPTURE(BM_SolverRoutingUnsat,                                  \
+                    too_large_ite2md_s1_##config_name,                      \
+                    std::string("too_large"),                               \
+                    std::string("ITE-linear-2+muldirect"), options)         \
+      ->Unit(benchmark::kMillisecond)
+
+// Per-feature ablation ladder for the BCP overhaul (ISSUE 5): each config
+// switches one more hot-path feature on, so adjacent columns isolate the
+// contribution of blocking literals, arena GC, the tiered learnt database,
+// and restart-time vivification. `default` (above) equals `abl_vivify`.
+sat::SolverOptions AblationOptions(bool blockers, bool gc, bool tiers,
+                                   bool vivify) {
+  sat::SolverOptions options;
+  options.use_blocking_literals = blockers;
+  options.gc_enabled = gc;
+  options.use_tiers = tiers;
+  options.vivify = vivify;
+  return options;
+}
+
+SATFR_ROUTING_UNSAT_SUITE(default, sat::SolverOptions());
+SATFR_ROUTING_UNSAT_SUITE(abl_none, AblationOptions(false, false, false,
+                                                    false));
+SATFR_ROUTING_UNSAT_SUITE(abl_blocker, AblationOptions(true, false, false,
+                                                       false));
+SATFR_ROUTING_UNSAT_SUITE(abl_gc, AblationOptions(true, true, false, false));
+SATFR_ROUTING_UNSAT_SUITE(abl_tiers, AblationOptions(true, true, true,
+                                                     false));
+SATFR_ROUTING_UNSAT_SUITE(abl_vivify, AblationOptions(true, true, true,
+                                                      true));
 
 }  // namespace
 

@@ -98,6 +98,11 @@ int main() {
               "sharing on", "exported", "imported");
   double total_off = 0.0;
   double total_on = 0.0;
+  std::uint64_t total_dup = 0;
+  std::uint64_t total_blocker_hits = 0;
+  std::uint64_t total_inspections = 0;
+  std::uint64_t total_gc = 0;
+  std::uint64_t total_vivified = 0;
   for (const bench::Instance& inst : instances) {
     const int width = inst.min_width - 1;
     if (width < 1) continue;
@@ -117,6 +122,11 @@ int main() {
         for (const sat::SolverStats& stats : result.strategy_stats) {
           exported += stats.exported_clauses;
           imported += stats.imported_clauses;
+          total_dup += stats.import_duplicates;
+          total_blocker_hits += stats.blocker_hits;
+          total_inspections += stats.watch_inspections;
+          total_gc += stats.gc_runs;
+          total_vivified += stats.clauses_vivified;
         }
       }
       std::printf("  %14s", bench::TimeCell(seconds, timed_out).c_str());
@@ -131,6 +141,20 @@ int main() {
               FormatSecondsPaperStyle(total_on).c_str());
   if (total_on > 0.0) {
     std::printf("sharing speedup: %.2fx\n", total_off / total_on);
+  }
+  // Aggregate solver-internals for the sharing-on runs: how often the
+  // blocking literal short-circuits a watch inspection, how much arena GC
+  // and inprocessing ran, and how many re-offered clauses the literal-hash
+  // dedup caught (nonzero whenever members exchange overlapping learnts).
+  if (total_inspections > 0) {
+    std::printf("solver internals (sharing on): blocker hit rate %.1f%%, "
+                "%llu gc runs, %llu clauses vivified, %llu duplicate "
+                "imports dropped\n",
+                100.0 * static_cast<double>(total_blocker_hits) /
+                    static_cast<double>(total_inspections),
+                static_cast<unsigned long long>(total_gc),
+                static_cast<unsigned long long>(total_vivified),
+                static_cast<unsigned long long>(total_dup));
   }
   return 0;
 }

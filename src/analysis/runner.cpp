@@ -5,6 +5,7 @@
 #include "analysis/cnf_passes.h"
 #include "analysis/encoding_passes.h"
 #include "analysis/graph_passes.h"
+#include "analysis/solver_passes.h"
 
 namespace satfr::analysis {
 
@@ -92,6 +93,7 @@ AnalysisRunner MakeDefaultRunner() {
   AddCnfPasses(runner);
   AddEncodingPasses(runner);
   AddGraphPasses(runner);
+  AddSolverPasses(runner);
   return runner;
 }
 

@@ -1,0 +1,22 @@
+// Solver-layer lint pass: dynamic structural invariants of the CDCL engine.
+//
+// Unlike the CNF/encoding passes, which inspect a static artifact, this
+// pass *runs* the solver on the input formula under deliberately hostile
+// database settings (tiny GC threshold, eager vivification, tiered learnts)
+// and then audits the engine's internal structures via
+// sat::Solver::CheckInvariants. It exists so a refactor of the arena, the
+// watcher lists, or the tier machinery that only corrupts state under GC
+// pressure is caught by `satfr lint` and CI, not by a wrong UNSAT three
+// layers up.
+#pragma once
+
+#include "analysis/runner.h"
+
+namespace satfr::analysis {
+
+/// Registers the solver pass:
+///   solver-invariants (error) arena/watcher/trail agreement after a
+///                             GC-heavy bounded solve
+void AddSolverPasses(AnalysisRunner& runner);
+
+}  // namespace satfr::analysis

@@ -88,6 +88,24 @@ std::vector<Strategy> DiversifiedPortfolio(int n) {
                             : sat::SolverOptions::SiegeLike();
     s.solver.seed = 91648253ull +
                     0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i);
+    // Diversify inprocessing, not just search: members alternate between
+    // eager vivification, vivification off, and sparse-but-deep passes, so
+    // at least one member keeps raw search throughput while others invest
+    // in simplification and feed the stronger clauses into the exchange.
+    switch (i % 3) {
+      case 1:
+        s.solver.vivify = true;
+        s.solver.vivify_interval = 4;
+        break;
+      case 2:
+        s.solver.vivify = false;
+        break;
+      case 0:
+        s.solver.vivify = true;
+        s.solver.vivify_interval = 16;
+        s.solver.vivify_propagation_budget = 1 << 16;
+        break;
+    }
   }
   return strategies;
 }

@@ -23,7 +23,8 @@ std::uint64_t ClauseExchange::HashClause(const Clause& clause) {
   return h;
 }
 
-void ClauseExchange::Publish(int participant, const Clause& clause) {
+void ClauseExchange::Publish(int participant, const Clause& clause,
+                             std::uint32_t lbd) {
   if (clause.empty()) return;
   const std::uint64_t hash = HashClause(clause);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -47,11 +48,12 @@ void ClauseExchange::Publish(int participant, const Clause& clause) {
     ++totals_.evicted;
   }
   entries_.push_back(
-      Entry{clause, participant, m.full_key, m.unit_key, next_seq_++});
+      Entry{clause, lbd, participant, m.full_key, m.unit_key, next_seq_++});
   ++totals_.published;
 }
 
-std::size_t ClauseExchange::Collect(int participant, std::vector<Clause>* out) {
+std::size_t ClauseExchange::Collect(int participant,
+                                    std::vector<SharedClause>* out) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (participant < 0 || static_cast<std::size_t>(participant) >= members_.size()) {
     return 0;
@@ -71,7 +73,7 @@ std::size_t ClauseExchange::Collect(int participant, std::vector<Clause>* out) {
       const bool full_match = e.full_key == m.full_key;
       const bool unit_match = e.lits.size() == 1 && e.unit_key == m.unit_key;
       if (!full_match && !unit_match) continue;
-      out->push_back(e.lits);
+      out->push_back(SharedClause{e.lits, e.lbd});
       ++appended;
     }
   }

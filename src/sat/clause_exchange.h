@@ -12,6 +12,15 @@
 
 namespace satfr::sat {
 
+// A clause as it travels between portfolio members: the literals plus the
+// sender's LBD at export time, so the importer can file the clause in the
+// matching learnt tier instead of treating every import as a problem
+// clause.
+struct SharedClause {
+  Clause lits;
+  std::uint32_t lbd = 0;
+};
+
 // Bounded, mutex-guarded learnt-clause exchange for portfolio solving.
 //
 // Each participating solver registers once and receives a participant id.
@@ -57,14 +66,20 @@ class ClauseExchange {
   // Registers a participant with its numbering keys; returns its id.
   int Register(std::uint64_t full_key, std::uint64_t unit_key);
 
-  // Offers a learnt clause to the other participants. The caller is
-  // responsible for filtering (units / low-LBD) before publishing.
-  void Publish(int participant, const Clause& clause);
+  // Offers a learnt clause to the other participants, tagged with the
+  // sender's LBD (0 = unknown; importers clamp into [1, size]). The caller
+  // is responsible for filtering (units / low-LBD) before publishing.
+  void Publish(int participant, const Clause& clause, std::uint32_t lbd = 0);
 
   // Appends to *out every clause published since this participant's last
   // Collect that it is compatible with (and did not publish itself).
   // Returns the number of clauses appended.
-  std::size_t Collect(int participant, std::vector<Clause>* out);
+  std::size_t Collect(int participant, std::vector<SharedClause>* out);
+
+  // Order-insensitive FNV-1a hash of the literal set. Public because it is
+  // the identity importers key their duplicate suppression on: an arena
+  // reference changes across the owner's GC, the literal hash does not.
+  static std::uint64_t HashClause(const Clause& clause);
 
   std::size_t capacity() const { return capacity_; }
   Totals totals() const;
@@ -72,6 +87,7 @@ class ClauseExchange {
  private:
   struct Entry {
     Clause lits;
+    std::uint32_t lbd;
     int source;
     std::uint64_t full_key;
     std::uint64_t unit_key;
@@ -83,8 +99,6 @@ class ClauseExchange {
     std::uint64_t unit_key;
     std::uint64_t cursor;  // first sequence number not yet collected
   };
-
-  static std::uint64_t HashClause(const Clause& clause);
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;

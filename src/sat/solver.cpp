@@ -1,17 +1,24 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <functional>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "sat/clause_exchange.h"
 
 namespace satfr::sat {
+
+namespace {
+// SimplifyAtLevelZero rescans the whole database; only worth it once this
+// many new top-level facts have accumulated since the previous scan.
+constexpr std::int64_t kSimplifyMinNewFacts = 24;
+}  // namespace
 
 const char* ToString(SolveResult result) {
   switch (result) {
@@ -71,20 +78,29 @@ void Solver::VarOrder::Grow(int num_vars) {
 void Solver::VarOrder::Insert(Var v) {
   if (Contains(v)) return;
   position_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
-  heap_.push_back(v);
+  heap_.push_back(Node{activity_[static_cast<std::size_t>(v)], v});
   SiftUp(heap_.size() - 1);
 }
 
 void Solver::VarOrder::Update(Var v) {
   if (!Contains(v)) return;
-  SiftUp(static_cast<std::size_t>(position_[static_cast<std::size_t>(v)]));
+  const std::size_t i =
+      static_cast<std::size_t>(position_[static_cast<std::size_t>(v)]);
+  // Activity only ever increases between rescales, so refreshing the stored
+  // key and sifting up restores the heap property.
+  heap_[i].key = activity_[static_cast<std::size_t>(v)];
+  SiftUp(i);
+}
+
+void Solver::VarOrder::RescaleKeys(double factor) {
+  for (Node& node : heap_) node.key *= factor;
 }
 
 Var Solver::VarOrder::RemoveMax() {
   assert(!heap_.empty());
-  const Var top = heap_[0];
+  const Var top = heap_[0].v;
   heap_[0] = heap_.back();
-  position_[static_cast<std::size_t>(heap_[0])] = 0;
+  position_[static_cast<std::size_t>(heap_[0].v)] = 0;
   heap_.pop_back();
   position_[static_cast<std::size_t>(top)] = -1;
   if (!heap_.empty()) SiftDown(0);
@@ -92,42 +108,45 @@ Var Solver::VarOrder::RemoveMax() {
 }
 
 void Solver::VarOrder::SiftUp(std::size_t i) {
-  const Var v = heap_[i];
+  const Node node = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!Before(v, heap_[parent])) break;
+    if (!Before(node, heap_[parent])) break;
     heap_[i] = heap_[parent];
-    position_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    position_[static_cast<std::size_t>(heap_[i].v)] = static_cast<int>(i);
     i = parent;
   }
-  heap_[i] = v;
-  position_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  heap_[i] = node;
+  position_[static_cast<std::size_t>(node.v)] = static_cast<int>(i);
 }
 
 void Solver::VarOrder::SiftDown(std::size_t i) {
-  const Var v = heap_[i];
+  const Node node = heap_[i];
   const std::size_t n = heap_.size();
   for (;;) {
     std::size_t child = 2 * i + 1;
     if (child >= n) break;
     if (child + 1 < n && Before(heap_[child + 1], heap_[child])) ++child;
-    if (!Before(heap_[child], v)) break;
+    if (!Before(heap_[child], node)) break;
     heap_[i] = heap_[child];
-    position_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    position_[static_cast<std::size_t>(heap_[i].v)] = static_cast<int>(i);
     i = child;
   }
-  heap_[i] = v;
-  position_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  heap_[i] = node;
+  position_[static_cast<std::size_t>(node.v)] = static_cast<int>(i);
 }
 
 // ------------------------------------------------------------------ Solver
 
 Solver::Solver(SolverOptions options)
-    : options_(options), rng_(options.seed), order_(activity_) {}
+    : options_(options), rng_(options.seed), order_(activity_) {
+  bin_offsets_.push_back(0);
+}
 
 Var Solver::NewVar() {
-  const Var v = static_cast<Var>(assigns_.size());
-  assigns_.push_back(LBool::kUndef);
+  const Var v = static_cast<Var>(num_vars());
+  lit_value_.push_back(LBool::kUndef);
+  lit_value_.push_back(LBool::kUndef);
   saved_phase_.push_back(options_.default_phase_positive);
   level_.push_back(0);
   reason_.push_back(kNoClause);
@@ -135,8 +154,17 @@ Var Solver::NewVar() {
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
-  binary_watches_.emplace_back();
-  binary_watches_.emplace_back();
+  // The two new literal codes start with an empty frozen CSR range at the
+  // current end of the flat buffer; learnts land in the overflow lists
+  // until the next compaction rebuilds the offsets.
+  const auto flat_end = static_cast<std::uint32_t>(bin_flat_.size());
+  bin_offsets_.push_back(flat_end);
+  bin_offsets_.push_back(flat_end);
+  bin_overflow_.emplace_back();
+  bin_overflow_.emplace_back();
+  bin_overflow_nonempty_.push_back(0);
+  bin_overflow_nonempty_.push_back(0);
+  trail_.Reserve(level_.size());
   order_.Grow(num_vars());
   order_.Insert(v);
   return v;
@@ -145,14 +173,17 @@ Var Solver::NewVar() {
 void Solver::EnsureVars(int n) {
   if (n <= num_vars()) return;
   const std::size_t count = static_cast<std::size_t>(n);
-  assigns_.reserve(count);
+  lit_value_.reserve(2 * count);
   saved_phase_.reserve(count);
   level_.reserve(count);
   reason_.reserve(count);
   activity_.reserve(count);
   seen_.reserve(count);
   watches_.reserve(2 * count);
-  binary_watches_.reserve(2 * count);
+  bin_offsets_.reserve(2 * count + 1);
+  bin_overflow_.reserve(2 * count);
+  bin_overflow_nonempty_.reserve(2 * count);
+  trail_.Reserve(count);
   while (num_vars() < n) NewVar();
 }
 
@@ -162,7 +193,7 @@ Solver::ClauseRef Solver::AllocClause(const Clause& lits, bool learnt) {
   assert(cref < kBinaryReasonBit && "arena exceeds the reason tag space");
   arena_.resize(arena_.size() + extra + lits.size());
   ClauseView c = View(cref);
-  *c.header = (static_cast<std::uint32_t>(lits.size()) << 3) | (learnt ? 1u : 0u);
+  *c.header = (static_cast<std::uint32_t>(lits.size()) << 6) | (learnt ? 1u : 0u);
   if (learnt) {
     c.SetActivity(0.0f);
     c.Lbd() = static_cast<std::uint32_t>(lits.size());
@@ -203,8 +234,13 @@ void Solver::DetachClause(ClauseRef cref) {
 }
 
 void Solver::AttachBinary(Lit a, Lit b) {
-  binary_watches_[static_cast<std::size_t>((~a).code())].push_back(b);
-  binary_watches_[static_cast<std::size_t>((~b).code())].push_back(a);
+  const auto code_a = static_cast<std::size_t>((~a).code());
+  const auto code_b = static_cast<std::size_t>((~b).code());
+  bin_overflow_[code_a].push_back(b);
+  bin_overflow_[code_b].push_back(a);
+  bin_overflow_nonempty_[code_a] = 1;
+  bin_overflow_nonempty_[code_b] = 1;
+  bin_overflow_entries_ += 2;
   ++num_binary_clauses_;
 }
 
@@ -222,6 +258,16 @@ void Solver::RemoveClause(ClauseRef cref) {
     reason_[static_cast<std::size_t>(c[0].var())] = kNoClause;
   }
   FreeClause(cref);
+}
+
+void Solver::RegisterLearnt(ClauseRef cref, std::uint32_t lbd) {
+  ClauseView c = View(cref);
+  c.Lbd() = lbd;
+  const std::uint32_t tier = TierForLbd(lbd);
+  c.SetTier(tier);
+  // Fresh clauses count as used so they survive their first demotion round.
+  c.SetUsed();
+  TierList(tier).push_back(cref);
 }
 
 bool Solver::AddClause(Clause clause) {
@@ -286,9 +332,51 @@ bool Solver::AddCnf(const Cnf& cnf) {
   return true;
 }
 
+bool Solver::AddImportedClause(const Clause& clause, std::uint32_t lbd) {
+  assert(DecisionLevel() == 0);
+  if (!ok_) return false;
+  // Same level-0 simplification as AddClause, but survivors of size >= 3
+  // enter the learnt database in the tier matching the sender's LBD
+  // instead of the problem-clause list.
+  add_scratch_ = clause;
+  std::sort(add_scratch_.begin(), add_scratch_.end());
+  std::size_t out = 0;
+  Lit previous = kUndefLit;
+  for (std::size_t i = 0; i < add_scratch_.size(); ++i) {
+    const Lit l = add_scratch_[i];
+    const LBool value = Value(l);
+    if (value == LBool::kTrue || l == ~previous) return true;  // satisfied
+    if (value != LBool::kFalse && l != previous) {
+      add_scratch_[out++] = l;
+      previous = l;
+    }
+  }
+  add_scratch_.resize(out);
+  if (add_scratch_.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (add_scratch_.size() == 1) {
+    UncheckedEnqueue(add_scratch_[0], kNoClause);
+    ok_ = (Propagate() == kNoClause);
+    return ok_;
+  }
+  if (add_scratch_.size() == 2) {
+    AttachBinary(add_scratch_[0], add_scratch_[1]);
+    return true;
+  }
+  const ClauseRef cref = AllocClause(add_scratch_, /*learnt=*/true);
+  const auto size = static_cast<std::uint32_t>(add_scratch_.size());
+  RegisterLearnt(cref, std::min(std::max(lbd, 1u), size));
+  AttachClause(cref);
+  return true;
+}
+
 std::size_t Solver::ClauseMemoryBytes() const {
   std::size_t bytes = arena_.capacity() * sizeof(std::uint32_t);
-  for (const auto& list : binary_watches_) {
+  bytes += bin_offsets_.capacity() * sizeof(std::uint32_t);
+  bytes += bin_flat_.capacity() * sizeof(Lit);
+  for (const auto& list : bin_overflow_) {
     bytes += list.capacity() * sizeof(Lit);
   }
   for (const auto& list : watches_) {
@@ -299,50 +387,135 @@ std::size_t Solver::ClauseMemoryBytes() const {
 
 void Solver::UncheckedEnqueue(Lit p, ClauseRef from) {
   const std::size_t v = static_cast<std::size_t>(p.var());
-  assert(assigns_[v] == LBool::kUndef);
-  assigns_[v] = p.negated() ? LBool::kFalse : LBool::kTrue;
+  assert(Value(p.var()) == LBool::kUndef);
+  lit_value_[static_cast<std::size_t>(p.code())] = LBool::kTrue;
+  lit_value_[static_cast<std::size_t>((~p).code())] = LBool::kFalse;
   level_[v] = DecisionLevel();
   reason_[v] = from;
   trail_.push_back(p);
 }
 
+void Solver::UnassignForBacktrack(Lit p) {
+  const std::size_t v = static_cast<std::size_t>(p.var());
+  lit_value_[static_cast<std::size_t>(p.code())] = LBool::kUndef;
+  lit_value_[static_cast<std::size_t>((~p).code())] = LBool::kUndef;
+  if (options_.phase_saving) {
+    saved_phase_[v] = !p.negated();
+  }
+  if (!order_.Contains(p.var())) order_.Insert(p.var());
+}
+
 Solver::ClauseRef Solver::Propagate() {
+  // The blocker toggle is hoisted to a template parameter so the default
+  // path carries no per-watcher branch for it.
+  return options_.use_blocking_literals ? PropagateImpl<true>()
+                                        : PropagateImpl<false>();
+}
+
+template <bool UseBlockers>
+Solver::ClauseRef Solver::PropagateImpl() {
   ClauseRef conflict = kNoClause;
-  while (qhead_ < trail_.size()) {
+  // Counter deltas stay in registers during the loop and are flushed once
+  // at the end — the stats struct is not touched per watcher or literal.
+  std::uint64_t inspected = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t propagated = 0;
+  std::uint64_t binary_propagated = 0;
+  LBool* const lit_value = lit_value_.data();
+  // The queue heads, trail cursor, and trail length all live in locals for
+  // the duration of the loop: enqueueing inline through raw pointers means
+  // no member store forces them back to memory, and the decision level is
+  // constant for the whole call.
+  Lit* const trail = trail_.data();
+  std::size_t tsz = trail_.size();
+  std::size_t head = qhead_;
+  std::size_t bin_head = qhead_bin_;
+  const int dl = DecisionLevel();
+  // The containers themselves are stable for the whole call (only the
+  // overflow lists and foreign watch lists grow, and never through these
+  // pointers), so hoist the data pointers the compiler cannot prove
+  // loop-invariant across the enqueue stores.
+  const Lit* const bin_flat = bin_flat_.data();
+  const std::uint32_t* const bin_offsets = bin_offsets_.data();
+  const std::uint8_t* const overflow_nonempty = bin_overflow_nonempty_.data();
+  const std::vector<Lit>* const bin_overflow = bin_overflow_.data();
+  std::vector<Watcher>* const watches = watches_.data();
+  const auto enqueue = [&](Lit q, ClauseRef from) {
+    assert(lit_value[q.code()] == LBool::kUndef);
+    const std::size_t v = static_cast<std::size_t>(q.var());
+    lit_value[q.code()] = LBool::kTrue;
+    lit_value[q.code() ^ 1] = LBool::kFalse;
+    level_[v] = dl;
+    reason_[v] = from;
+    trail[tsz++] = q;
+  };
+  while (head < tsz) {
     // Binary fast path, drained to fixpoint before any long clause is
-    // touched: the implied literal is stored inline, so the whole pass
-    // dereferences no clause memory and never edits a watch list, and a
-    // conflict reachable through binaries alone skips the long scans of
-    // every literal enqueued along the way.
-    while (qhead_bin_ < trail_.size()) {
-      const Lit bp = trail_[qhead_bin_++];
-      ++stats_.propagations;
-      const std::vector<Lit>& implied =
-          binary_watches_[static_cast<std::size_t>(bp.code())];
-      for (const Lit q : implied) {
-        const LBool value = Value(q);
+    // touched: the implied literal is stored inline (frozen CSR range plus
+    // the overflow list of learnts added since the last compaction), so
+    // the whole pass dereferences no clause memory and never edits a watch
+    // list, and a conflict reachable through binaries alone skips the long
+    // scans of every literal enqueued along the way.
+    while (bin_head < tsz) {
+      const Lit bp = trail[bin_head++];
+      ++propagated;
+      const std::size_t code = static_cast<std::size_t>(bp.code());
+      // The frozen range is the common case; the overflow list is only
+      // consulted when the cheap dense flag says it is non-empty (the
+      // vector header itself would be a scattered cache line per literal).
+      const Lit* it = bin_flat + bin_offsets[code];
+      const Lit* end = bin_flat + bin_offsets[code + 1];
+      const Lit* overflow_it = nullptr;
+      const Lit* overflow_end = nullptr;
+      if (overflow_nonempty[code] != 0) {
+        overflow_it = bin_overflow[code].data();
+        overflow_end = overflow_it + bin_overflow[code].size();
+      }
+      for (;;) {
+        if (it == end) {
+          if (overflow_it == overflow_end) break;
+          it = overflow_it;
+          end = overflow_end;
+          overflow_it = overflow_end = nullptr;
+          continue;
+        }
+        const Lit q = *it++;
+        const LBool value = lit_value[q.code()];
         if (value == LBool::kTrue) continue;
         if (value == LBool::kFalse) {
           binary_conflict_[0] = q;
           binary_conflict_[1] = ~bp;
-          qhead_bin_ = qhead_ = trail_.size();
-          return kBinaryConflict;
+          bin_head = head = tsz;
+          conflict = kBinaryConflict;
+          break;
         }
-        ++stats_.binary_propagations;
-        UncheckedEnqueue(q, BinaryReason(~bp));
+        ++binary_propagated;
+        enqueue(q, BinaryReason(~bp));
+      }
+      if (conflict != kNoClause) {
+        goto done;
       }
     }
     // Every literal passes through the binary queue first, so the
     // propagation counter above has already seen p.
-    const Lit p = trail_[qhead_++];
-    auto& watch_list = watches_[static_cast<std::size_t>(p.code())];
-    std::size_t keep = 0;
-    std::size_t i = 0;
+    const Lit p = trail[head++];
+    auto& watch_list = watches[static_cast<std::size_t>(p.code())];
+    // Pointer-based sweep: moving a watch appends to a *different* list
+    // (the new watched literal can never share p's code), so this list
+    // never reallocates mid-scan and the compiler needs no size reloads.
+    Watcher* const begin = watch_list.data();
+    Watcher* const end = begin + watch_list.size();
+    Watcher* out = begin;
     const Lit false_lit = ~p;
-    for (; i < watch_list.size(); ++i) {
-      const Watcher w = watch_list[i];
-      if (Value(w.blocker) == LBool::kTrue) {
-        watch_list[keep++] = w;
+    for (Watcher* in = begin; in != end; ++in) {
+      const Watcher w = *in;
+      if (in + 1 != end) {
+        __builtin_prefetch(arena_.data() + (in + 1)->cref);
+      }
+      ++inspected;
+      if (UseBlockers && lit_value[w.blocker.code()] == LBool::kTrue) {
+        ++blocked;
+        *out++ = w;
         continue;
       }
       ClauseView c = View(w.cref);
@@ -352,18 +525,21 @@ Solver::ClauseRef Solver::Propagate() {
       }
       assert(c[1] == false_lit);
       const Lit first = c[0];
-      if (first != w.blocker && Value(first) == LBool::kTrue) {
-        watch_list[keep++] = Watcher{w.cref, first};
+      // With blockers on, first == w.blocker was already tested upfront;
+      // with them off the test must not be short-circuited away.
+      if ((!UseBlockers || first != w.blocker) &&
+          lit_value[first.code()] == LBool::kTrue) {
+        *out++ = Watcher{w.cref, first};
         continue;
       }
       // Look for a new literal to watch.
       bool found = false;
       const std::uint32_t size = c.size();
       for (std::uint32_t k = 2; k < size; ++k) {
-        if (Value(c[k]) != LBool::kFalse) {
+        if (lit_value[c[k].code()] != LBool::kFalse) {
           c[1] = c[k];
           c[k] = false_lit;
-          watches_[static_cast<std::size_t>((~c[1]).code())].push_back(
+          watches[static_cast<std::size_t>((~c[1]).code())].push_back(
               Watcher{w.cref, first});
           found = true;
           break;
@@ -371,20 +547,28 @@ Solver::ClauseRef Solver::Propagate() {
       }
       if (found) continue;
       // Clause is unit or conflicting.
-      watch_list[keep++] = Watcher{w.cref, first};
-      if (Value(first) == LBool::kFalse) {
+      *out++ = Watcher{w.cref, first};
+      if (lit_value[first.code()] == LBool::kFalse) {
         conflict = w.cref;
-        qhead_bin_ = qhead_ = trail_.size();
-        for (++i; i < watch_list.size(); ++i) {
-          watch_list[keep++] = watch_list[i];
+        bin_head = head = tsz;
+        for (++in; in != end; ++in) {
+          *out++ = *in;
         }
         break;
       }
-      UncheckedEnqueue(first, w.cref);
+      enqueue(first, w.cref);
     }
-    watch_list.resize(keep);
+    watch_list.resize(static_cast<std::size_t>(out - begin));
     if (conflict != kNoClause) break;
   }
+done:
+  trail_.SetSize(tsz);
+  qhead_ = head;
+  qhead_bin_ = bin_head;
+  stats_.propagations += propagated;
+  stats_.binary_propagations += binary_propagated;
+  stats_.watch_inspections += inspected;
+  stats_.blocker_hits += blocked;
   return conflict;
 }
 
@@ -392,6 +576,7 @@ void Solver::BumpVarActivity(Var v) {
   if ((activity_[static_cast<std::size_t>(v)] += var_inc_) > 1e100) {
     for (double& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
+    order_.RescaleKeys(1e-100);
   }
   order_.Update(v);
 }
@@ -400,11 +585,39 @@ void Solver::BumpClauseActivity(ClauseView c) {
   const float bumped = c.Activity() + static_cast<float>(clause_inc_);
   c.SetActivity(bumped);
   if (bumped > 1e20f) {
-    for (const ClauseRef cref : learnts_) {
-      ClauseView lc = View(cref);
-      if (!lc.deleted()) lc.SetActivity(lc.Activity() * 1e-20f);
+    for (const std::vector<ClauseRef>* list :
+         {&learnts_core_, &learnts_tier2_, &learnts_local_}) {
+      for (const ClauseRef cref : *list) {
+        ClauseView lc = View(cref);
+        if (!lc.deleted()) lc.SetActivity(lc.Activity() * 1e-20f);
+      }
     }
     clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::UpdateLearntOnUse(ClauseView c) {
+  // Glucose-style dynamic LBD: a clause that participates in conflict
+  // analysis gets its LBD recomputed from the current levels; if the value
+  // improved, retag towards core (the list move is deferred to the next
+  // RebucketLearnts — the tag in the header is authoritative).
+  // One recompute per clause per reduction round: the used bit doubles as
+  // the "already refreshed" mark and ReduceDb clears it, so hot reasons do
+  // not pay an O(size) level walk on every single conflict they feed.
+  const bool first_use = !c.used();
+  c.SetUsed();
+  if (!options_.use_tiers || !first_use) return;
+  // Core clauses cannot improve further and dominate the reason mix on
+  // structured instances — skip the recompute for them.
+  if (c.Lbd() <= options_.core_lbd_max) return;
+  const std::uint32_t lbd = ComputeLbd(c.lits(), c.size());
+  if (lbd >= c.Lbd()) return;
+  c.Lbd() = lbd;
+  const std::uint32_t tier = TierForLbd(lbd);
+  if (tier < c.tier()) {
+    c.SetTier(tier);
+    ++stats_.tier_promotions;
+    tiers_dirty_ = true;
   }
 }
 
@@ -436,7 +649,10 @@ void Solver::Analyze(ClauseRef confl, Clause& out_learnt, int& out_btlevel,
       size = 2;
     } else {
       ClauseView c = View(confl);
-      if (c.learnt()) BumpClauseActivity(c);
+      if (c.learnt()) {
+        BumpClauseActivity(c);
+        UpdateLearntOnUse(c);
+      }
       lits = c.lits();
       size = c.size();
     }
@@ -546,12 +762,12 @@ bool Solver::LitRedundant(Lit p, std::uint32_t abstract_levels) {
   return true;
 }
 
-std::uint32_t Solver::ComputeLbd(const Clause& lits) {
+std::uint32_t Solver::ComputeLbd(const Lit* lits, std::size_t size) {
   // Number of distinct decision levels in the clause (Glucose's metric).
   static thread_local std::vector<int> seen_levels;
   std::uint32_t lbd = 0;
-  for (const Lit l : lits) {
-    const int lvl = LevelOf(l.var());
+  for (std::size_t i = 0; i < size; ++i) {
+    const int lvl = LevelOf(lits[i].var());
     if (static_cast<std::size_t>(lvl) >= seen_levels.size()) {
       seen_levels.resize(static_cast<std::size_t>(lvl) + 1, 0);
     }
@@ -560,8 +776,8 @@ std::uint32_t Solver::ComputeLbd(const Clause& lits) {
       ++lbd;
     }
   }
-  for (const Lit l : lits) {
-    seen_levels[static_cast<std::size_t>(LevelOf(l.var()))] = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    seen_levels[static_cast<std::size_t>(LevelOf(lits[i].var()))] = 0;
   }
   return lbd;
 }
@@ -570,13 +786,7 @@ void Solver::Backtrack(int target_level) {
   if (DecisionLevel() <= target_level) return;
   const int boundary = trail_lim_[static_cast<std::size_t>(target_level)];
   for (int i = static_cast<int>(trail_.size()) - 1; i >= boundary; --i) {
-    const Lit p = trail_[static_cast<std::size_t>(i)];
-    const std::size_t v = static_cast<std::size_t>(p.var());
-    assigns_[v] = LBool::kUndef;
-    if (options_.phase_saving) {
-      saved_phase_[v] = !p.negated();
-    }
-    if (!order_.Contains(p.var())) order_.Insert(p.var());
+    UnassignForBacktrack(trail_[static_cast<std::size_t>(i)]);
   }
   qhead_ = static_cast<std::size_t>(boundary);
   qhead_bin_ = static_cast<std::size_t>(boundary);
@@ -608,44 +818,99 @@ void Solver::RemoveSatisfied(std::vector<ClauseRef>& list) {
   for (const ClauseRef cref : list) {
     ClauseView c = View(cref);
     bool satisfied = false;
+    std::uint32_t false_lits = 0;
     for (std::uint32_t i = 0; i < c.size(); ++i) {
-      if (Value(c[i]) == LBool::kTrue) {
+      const LBool v = Value(c[i]);
+      if (v == LBool::kTrue) {
         satisfied = true;
         break;
       }
+      false_lits += v == LBool::kFalse;
     }
     if (satisfied) {
       RemoveClause(cref);
       ++stats_.removed;
-    } else {
-      list[keep++] = cref;
+      continue;
     }
+    if (false_lits > 0 && !options_.deterministic) {
+      // On-trail strengthening: literals false at level 0 can never be
+      // satisfied again, so drop them in place. The watched literals
+      // (positions 0 and 1) are non-false at a propagation fixpoint, so
+      // they survive the compaction in place and the watch lists stay
+      // valid; only the cached blockers need refreshing (a dropped
+      // literal may be cached there).
+      std::uint32_t out = 0;
+      for (std::uint32_t i = 0; i < c.size(); ++i) {
+        if (Value(c[i]) != LBool::kFalse) c[out++] = c[i];
+      }
+      assert(out >= 2 && "watched literals must survive L0 strengthening");
+      if (proof_log_) {
+        proof_log_->emplace_back(c.lits(), c.lits() + out);
+      }
+      ++stats_.clauses_strengthened;
+      if (out == 2) {
+        // Shrunk to a binary: migrate to the implication layer.
+        DetachClause(cref);
+        AttachBinary(c[0], c[1]);
+        FreeClause(cref);
+        continue;
+      }
+      wasted_words_ += c.size() - out;
+      c.SetSize(out);
+      if (c.learnt()) c.Lbd() = std::min(c.Lbd(), out);
+      for (int w = 0; w < 2; ++w) {
+        for (Watcher& watcher :
+             watches_[static_cast<std::size_t>((~c[w]).code())]) {
+          if (watcher.cref == cref) {
+            watcher.blocker = c[1 - w];
+            break;
+          }
+        }
+      }
+    }
+    list[keep++] = cref;
   }
   list.resize(keep);
 }
 
-void Solver::RemoveSatisfiedBinaries() {
-  // The list at code(p) is consulted when p is assigned true and holds the
-  // q of every clause (~p \/ q). Such a clause is dead at level 0 once p is
-  // false (~p satisfied) or q is true; each clause occupies one entry in
-  // each of its two lists, so both entries vanish under the same test.
+void Solver::CompactBinaryLayer(bool drop_satisfied) {
+  // Rebuild the CSR from the frozen ranges plus the overflow lists. With
+  // drop_satisfied (level 0 only), entries of dead clauses are skipped:
+  // the list at code(p) holds the q of every clause (~p \/ q), which is
+  // satisfied for good once p is false or q is true; each clause has one
+  // entry in each of its two lists and both vanish under the same test.
+  assert(!drop_satisfied || DecisionLevel() == 0);
+  const std::size_t num_codes = 2 * static_cast<std::size_t>(num_vars());
+  std::vector<Lit> new_flat;
+  new_flat.reserve(bin_flat_.size() + bin_overflow_entries_);
+  std::vector<std::uint32_t> new_offsets;
+  new_offsets.reserve(num_codes + 1);
+  new_offsets.push_back(0);
   std::uint64_t removed_entries = 0;
-  for (std::size_t code = 0; code < binary_watches_.size(); ++code) {
-    auto& list = binary_watches_[code];
-    if (list.empty()) continue;
+  for (std::size_t code = 0; code < num_codes; ++code) {
     const Lit p = Lit::Make(static_cast<Var>(code >> 1), (code & 1) != 0);
-    if (Value(p) == LBool::kFalse) {
-      removed_entries += list.size();
-      list.clear();
-      continue;
+    const bool list_dead = drop_satisfied && Value(p) == LBool::kFalse;
+    const Lit* ranges[2][2];
+    ranges[0][0] = bin_flat_.data() + bin_offsets_[code];
+    ranges[0][1] = bin_flat_.data() + bin_offsets_[code + 1];
+    ranges[1][0] = bin_overflow_[code].data();
+    ranges[1][1] = ranges[1][0] + bin_overflow_[code].size();
+    for (int r = 0; r < 2; ++r) {
+      for (const Lit* it = ranges[r][0]; it != ranges[r][1]; ++it) {
+        if (list_dead || (drop_satisfied && Value(*it) == LBool::kTrue)) {
+          ++removed_entries;
+          continue;
+        }
+        new_flat.push_back(*it);
+      }
     }
-    std::size_t keep = 0;
-    for (const Lit q : list) {
-      if (Value(q) != LBool::kTrue) list[keep++] = q;
-    }
-    removed_entries += list.size() - keep;
-    list.resize(keep);
+    bin_overflow_[code].clear();
+    bin_overflow_nonempty_[code] = 0;
+    new_offsets.push_back(static_cast<std::uint32_t>(new_flat.size()));
   }
+  bin_flat_ = std::move(new_flat);
+  bin_offsets_ = std::move(new_offsets);
+  bin_overflow_entries_ = 0;
   const std::uint64_t removed_clauses = removed_entries / 2;
   num_binary_clauses_ -= removed_clauses;
   stats_.removed += removed_clauses;
@@ -654,93 +919,276 @@ void Solver::RemoveSatisfiedBinaries() {
 void Solver::SimplifyAtLevelZero() {
   assert(DecisionLevel() == 0);
   if (!ok_) return;
-  // Only worth redoing once new top-level facts have arrived.
-  if (static_cast<std::int64_t>(trail_.size()) == simplify_trail_size_) {
+  // Full database rescans only pay off once enough new top-level facts
+  // have accumulated (the first call always runs — it freezes the input
+  // binaries into the CSR).
+  const auto trail_now = static_cast<std::int64_t>(trail_.size());
+  if (simplify_trail_size_ >= 0 &&
+      trail_now < simplify_trail_size_ + kSimplifyMinNewFacts) {
     return;
   }
-  simplify_trail_size_ = static_cast<std::int64_t>(trail_.size());
-  RemoveSatisfied(learnts_);
+  simplify_trail_size_ = trail_now;
+  RebucketLearnts();
+  RemoveSatisfied(learnts_core_);
+  RemoveSatisfied(learnts_tier2_);
+  RemoveSatisfied(learnts_local_);
   RemoveSatisfied(clauses_);
-  RemoveSatisfiedBinaries();
+  CompactBinaryLayer(/*drop_satisfied=*/true);
   CollectGarbageIfNeeded();
 }
 
+void Solver::RebucketLearnts() {
+  if (!tiers_dirty_) return;
+  tiers_dirty_ = false;
+  // Promotions only flip the header tag in the hot path; here the three
+  // lists are rebuilt to match the tags again.
+  static thread_local std::vector<ClauseRef> all;
+  all.clear();
+  for (std::vector<ClauseRef>* list :
+       {&learnts_core_, &learnts_tier2_, &learnts_local_}) {
+    all.insert(all.end(), list->begin(), list->end());
+    list->clear();
+  }
+  for (const ClauseRef cref : all) {
+    ClauseView c = View(cref);
+    if (c.deleted()) continue;
+    TierList(c.tier()).push_back(cref);
+  }
+}
+
 void Solver::ReduceDb() {
-  // Order learnts worst-first: high LBD, then low activity. Binary learnts
-  // never reach the arena (they live in the implication layer and are kept
-  // forever), so every candidate here has >= 3 literals.
-  std::vector<ClauseRef> candidates;
-  candidates.reserve(learnts_.size());
-  for (const ClauseRef cref : learnts_) {
+  RebucketLearnts();
+  // Tier2 clauses that went unused since the previous reduction drop to
+  // local; the rest get their used bit cleared for the next round. Core
+  // clauses are permanent and never scanned.
+  if (options_.use_tiers) {
+    std::size_t keep = 0;
+    for (const ClauseRef cref : learnts_tier2_) {
+      ClauseView c = View(cref);
+      if (!c.used() && !Locked(cref)) {
+        c.SetTier(kTierLocal);
+        learnts_local_.push_back(cref);
+        ++stats_.tier_demotions;
+      } else {
+        c.ClearUsed();
+        learnts_tier2_[keep++] = cref;
+      }
+    }
+    learnts_tier2_.resize(keep);
+  }
+  // Order local learnts worst-first: high LBD, then low activity. Binary
+  // learnts never reach the arena (they live in the implication layer and
+  // are kept forever), so every candidate here has >= 3 literals.
+  // Each candidate carries a precomputed sort key — LBD in the high word,
+  // inverted activity bits in the low word (non-negative floats compare
+  // like their bit patterns) — so ordering never dereferences the arena,
+  // and only the worst half needs separating, not a full sort.
+  std::vector<std::pair<std::uint64_t, ClauseRef>> candidates;
+  candidates.reserve(learnts_local_.size());
+  for (const ClauseRef cref : learnts_local_) {
     ClauseView c = View(cref);
     if (c.Lbd() > 2 && !Locked(cref)) {
-      candidates.push_back(cref);
+      const auto act_bits = std::bit_cast<std::uint32_t>(c.Activity());
+      const std::uint64_t key = (static_cast<std::uint64_t>(c.Lbd()) << 32) |
+                                (0xFFFFFFFFu - act_bits);
+      candidates.emplace_back(key, cref);
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [this](ClauseRef a, ClauseRef b) {
-              ClauseView ca = View(a);
-              ClauseView cb = View(b);
-              if (ca.Lbd() != cb.Lbd()) return ca.Lbd() > cb.Lbd();
-              return ca.Activity() < cb.Activity();
-            });
   const std::size_t to_remove = candidates.size() / 2;
+  std::nth_element(candidates.begin(), candidates.begin() + to_remove,
+                   candidates.end(),
+                   std::greater<std::pair<std::uint64_t, ClauseRef>>());
   for (std::size_t i = 0; i < to_remove; ++i) {
-    RemoveClause(candidates[i]);
+    RemoveClause(candidates[i].second);
     ++stats_.removed;
   }
-  // Compact the learnt list (deleted clauses have their flag set).
+  // Compact the local list (deleted clauses have their flag set).
   std::size_t keep = 0;
-  for (const ClauseRef cref : learnts_) {
-    if (!View(cref).deleted()) learnts_[keep++] = cref;
+  for (const ClauseRef cref : learnts_local_) {
+    if (!View(cref).deleted()) learnts_local_[keep++] = cref;
   }
-  learnts_.resize(keep);
+  learnts_local_.resize(keep);
   max_learnts_ *= options_.learnt_size_inc;
   CollectGarbageIfNeeded();
 }
 
 void Solver::CollectGarbageIfNeeded() {
-  if (arena_.empty() || wasted_words_ * 2 < arena_.size() ||
-      arena_.size() < (1u << 16)) {
+  if (!options_.gc_enabled || arena_.empty() ||
+      wasted_words_ * 2 < arena_.size() ||
+      arena_.size() < options_.gc_min_arena_words) {
     return;
   }
+  CollectGarbage();
+}
+
+void Solver::CollectGarbage() {
   ++stats_.gc_runs;
   std::vector<std::uint32_t> new_arena;
   new_arena.reserve(arena_.size() - wasted_words_);
-  auto relocate = [&](ClauseRef old_ref) -> ClauseRef {
+  const auto relocate = [&](ClauseRef old_ref) -> ClauseRef {
     ClauseView c = ClauseView{arena_.data() + old_ref};
+    if (c.relocated()) return c.ForwardRef();
     assert(!c.deleted());
     const ClauseRef new_ref = static_cast<ClauseRef>(new_arena.size());
     const std::uint32_t words = c.Words();
     new_arena.insert(new_arena.end(), c.header, c.header + words);
-    // Leave a forwarding pointer in the old header.
-    *c.header = (new_ref << 3) | 4u;
+    // Leave a forwarding reference behind; word1 of the stale copy is
+    // repurposed (the live literals were copied out above).
+    c.MarkRelocated(new_ref);
     return new_ref;
   };
-  for (ClauseRef& cref : clauses_) cref = relocate(cref);
-  for (ClauseRef& cref : learnts_) cref = relocate(cref);
+  // Relocate in watch-traversal order: walking the watch lists in literal
+  // order lays each clause next to the clauses Propagate will touch right
+  // before and after it, so a watch-list scan walks forward through the
+  // new arena instead of hopping in allocation order. Watcher entries are
+  // redirected in place — blockers survive, nothing is rebuilt.
+  for (auto& watch_list : watches_) {
+    for (Watcher& w : watch_list) {
+      w.cref = relocate(w.cref);
+    }
+  }
+  // Every live clause is watched twice, so the list fix-ups below resolve
+  // through the forwarding references left by the traversal above.
+  for (std::vector<ClauseRef>* list :
+       {&clauses_, &learnts_core_, &learnts_tier2_, &learnts_local_}) {
+    for (ClauseRef& cref : *list) cref = relocate(cref);
+  }
   // Remap reasons of currently assigned variables. Binary reasons are
   // packed literals, not arena references — they survive GC untouched.
   for (const Lit p : trail_) {
     ClauseRef& r = reason_[static_cast<std::size_t>(p.var())];
     if (r != kNoClause && !IsBinaryReason(r)) {
-      const std::uint32_t header = arena_[r];
-      assert((header & 4u) != 0 && "reason clause must be live");
-      r = header >> 3;
+      r = relocate(r);
     }
   }
   arena_ = std::move(new_arena);
   wasted_words_ = 0;
-  // Rebuild all watch lists from scratch (the binary layer is unaffected).
-  for (auto& list : watches_) list.clear();
-  for (const ClauseRef cref : clauses_) AttachClause(cref);
-  for (const ClauseRef cref : learnts_) AttachClause(cref);
+}
+
+void Solver::VivifyRound() {
+  assert(DecisionLevel() == 0);
+  if (!ok_ || options_.deterministic || !options_.vivify) return;
+  RebucketLearnts();
+  if (learnts_tier2_.empty()) return;
+  // Budgeted pass over tier2 with a rolling cursor: every clause gets its
+  // turn across successive rounds even when one round's propagation budget
+  // runs out early.
+  const std::uint64_t start = stats_.propagations;
+  const auto budget =
+      static_cast<std::uint64_t>(options_.vivify_propagation_budget);
+  std::size_t examined = 0;
+  while (examined < learnts_tier2_.size() &&
+         stats_.propagations - start < budget) {
+    if (vivify_cursor_ >= learnts_tier2_.size()) vivify_cursor_ = 0;
+    const ClauseRef cref = learnts_tier2_[vivify_cursor_++];
+    ++examined;
+    if (View(cref).deleted()) continue;
+    if (!VivifyClause(cref)) return;  // refuted the formula
+  }
+  // Vivified clauses may have left the arena (shrunk to binary/unit) or
+  // been dropped as satisfied; compact the list.
+  std::size_t keep = 0;
+  for (const ClauseRef cref : learnts_tier2_) {
+    if (!View(cref).deleted()) learnts_tier2_[keep++] = cref;
+  }
+  learnts_tier2_.resize(keep);
+}
+
+bool Solver::VivifyClause(ClauseRef cref) {
+  ClauseView c = View(cref);
+  if (Locked(cref)) return true;
+  vivify_lits_.assign(c.lits(), c.lits() + c.size());
+  // The clause itself must not take part in the propagations below (it
+  // could otherwise "derive" its own literals), so detach it first.
+  DetachClause(cref);
+  vivify_kept_.clear();
+  bool satisfied_at_root = false;
+  for (const Lit l : vivify_lits_) {
+    const LBool value = Value(l);
+    if (value == LBool::kTrue) {
+      if (LevelOf(l.var()) == 0) {
+        // Satisfied at the root: the clause is dead weight either way.
+        satisfied_at_root = true;
+        break;
+      }
+      // The assumed negations imply l, so (kept \/ l) subsumes the
+      // clause: keep l, drop the remaining tail.
+      vivify_kept_.push_back(l);
+      break;
+    }
+    if (value == LBool::kFalse) {
+      // The assumed negations (or the root trail) imply ~l: under the
+      // negation of (kept \/ tail-without-l), unit propagation falsifies
+      // the original clause, so dropping l is a RUP strengthening.
+      continue;
+    }
+    NewDecisionLevel();
+    UncheckedEnqueue(~l, kNoClause);
+    if (Propagate() != kNoClause) {
+      // Conflict under ~kept, ~l: (kept \/ l) is a RUP consequence.
+      vivify_kept_.push_back(l);
+      break;
+    }
+    vivify_kept_.push_back(l);
+  }
+  Backtrack(0);
+  if (satisfied_at_root) {
+    FreeClause(cref);
+    ++stats_.removed;
+    return true;
+  }
+  if (vivify_kept_.size() == vivify_lits_.size()) {
+    AttachClause(cref);
+    return true;
+  }
+  ++stats_.clauses_vivified;
+  stats_.lits_removed_vivify += vivify_lits_.size() - vivify_kept_.size();
+  if (proof_log_) proof_log_->push_back(vivify_kept_);
+  if (vivify_kept_.size() >= 3) {
+    // Rewrite in place (already detached); the tail words become arena
+    // garbage accounted to the GC trigger.
+    wasted_words_ += c.size() - vivify_kept_.size();
+    c.SetSize(static_cast<std::uint32_t>(vivify_kept_.size()));
+    for (std::size_t i = 0; i < vivify_kept_.size(); ++i) {
+      c[static_cast<std::uint32_t>(i)] = vivify_kept_[i];
+    }
+    const std::uint32_t lbd =
+        std::min(c.Lbd(), static_cast<std::uint32_t>(vivify_kept_.size()));
+    c.Lbd() = lbd;
+    AttachClause(cref);
+    return true;
+  }
+  FreeClause(cref);
+  if (vivify_kept_.size() == 2) {
+    AttachBinary(vivify_kept_[0], vivify_kept_[1]);
+    return true;
+  }
+  if (vivify_kept_.size() == 1) {
+    const LBool value = Value(vivify_kept_[0]);
+    if (value == LBool::kTrue) return true;
+    if (value == LBool::kFalse || !ok_) {
+      ok_ = false;
+    } else {
+      UncheckedEnqueue(vivify_kept_[0], kNoClause);
+      ok_ = (Propagate() == kNoClause);
+    }
+  } else {
+    ok_ = false;  // every literal refuted at the root
+  }
+  if (!ok_ && proof_log_) proof_log_->push_back(Clause{});
+  return ok_;
 }
 
 void Solver::ExportLearnt(const Clause& learnt, std::uint32_t lbd) {
   if (!exchange_) return;
   if (learnt.size() > 2 && lbd > options_.share_max_lbd) return;
-  exchange_->Publish(exchange_participant_, learnt);
+  // Remember the literal hash (it is identity under arena GC); a clause
+  // this solver has already imported is not echoed back, and a clause it
+  // exported will be recognized if the exchange ever offers it back.
+  if (!exchange_seen_.insert(ClauseExchange::HashClause(learnt)).second) {
+    return;
+  }
+  exchange_->Publish(exchange_participant_, learnt, lbd);
   ++stats_.exported_clauses;
 }
 
@@ -749,20 +1197,30 @@ std::size_t Solver::ImportClauses() {
   // RUP log cannot justify — skip them whenever a proof is being recorded.
   if (!exchange_ || !ok_ || proof_log_) return 0;
   assert(DecisionLevel() == 0);
-  import_buffer_.clear();
-  exchange_->Collect(exchange_participant_, &import_buffer_);
+  std::vector<SharedClause> buffer;
+  exchange_->Collect(exchange_participant_, &buffer);
   std::size_t imported = 0;
-  for (const Clause& clause : import_buffer_) {
+  for (const SharedClause& shared : buffer) {
     bool in_range = true;
-    for (const Lit l : clause) {
+    for (const Lit l : shared.lits) {
       if (!l.IsValid() || l.var() >= num_vars()) {
         in_range = false;
         break;
       }
     }
     if (!in_range) continue;
+    // Deduplicate by literal hash: the exchange's own FIFO dedup set is
+    // reset periodically, so a clause this solver exported (or already
+    // imported) can come back under a fresh sequence number — and after a
+    // GC its original has a different arena address, so no reference
+    // comparison can catch that. The literal hash can.
+    if (!exchange_seen_.insert(ClauseExchange::HashClause(shared.lits))
+             .second) {
+      ++stats_.import_duplicates;
+      continue;
+    }
     ++imported;
-    if (!AddClause(clause)) break;  // the exchange refuted the formula
+    if (!AddImportedClause(shared.lits, shared.lbd)) break;  // refuted
   }
   stats_.imported_clauses += imported;
   return imported;
@@ -812,8 +1270,7 @@ LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
         UncheckedEnqueue(learnt[0], BinaryReason(learnt[1]));
       } else {
         const ClauseRef cref = AllocClause(learnt, /*learnt=*/true);
-        View(cref).Lbd() = lbd;
-        learnts_.push_back(cref);
+        RegisterLearnt(cref, lbd);
         AttachClause(cref);
         BumpClauseActivity(View(cref));
         UncheckedEnqueue(learnt[0], cref);
@@ -837,7 +1294,7 @@ LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
         return LBool::kUndef;
       }
       if (DecisionLevel() == 0) SimplifyAtLevelZero();
-      if (static_cast<double>(learnts_.size()) -
+      if (static_cast<double>(learnts_local_.size()) -
               static_cast<double>(trail_.size()) >=
           max_learnts_) {
         ReduceDb();
@@ -874,18 +1331,49 @@ SolveResult Solver::Solve(Deadline deadline, const std::atomic<bool>* stop) {
 
 bool Solver::CheckInvariants(std::string* error) const {
   const auto fail = [error](std::string message) {
-    if (error != nullptr) *error = std::move(message);
+    if (error != nullptr) {
+      *error = "solver invariant violated: " + std::move(message);
+    }
     return false;
   };
-  const std::size_t n = assigns_.size();
+  const std::size_t n = level_.size();
 
   // Per-variable and per-literal array sizes.
   if (level_.size() != n || reason_.size() != n || activity_.size() != n ||
-      saved_phase_.size() != n) {
+      saved_phase_.size() != n || lit_value_.size() != 2 * n) {
     return fail("per-variable arrays disagree on the variable count");
   }
-  if (watches_.size() != 2 * n || binary_watches_.size() != 2 * n) {
+  if (watches_.size() != 2 * n || bin_overflow_.size() != 2 * n ||
+      bin_overflow_nonempty_.size() != 2 * n ||
+      bin_offsets_.size() != 2 * n + 1) {
     return fail("watch lists not sized to 2 * num_vars");
+  }
+  for (std::size_t code = 0; code < 2 * n; ++code) {
+    if ((bin_overflow_nonempty_[code] != 0) != !bin_overflow_[code].empty()) {
+      return fail("binary overflow non-empty flag out of sync for code " +
+                  std::to_string(code));
+    }
+  }
+  for (std::size_t code = 0; code + 1 < bin_offsets_.size(); ++code) {
+    if (bin_offsets_[code] > bin_offsets_[code + 1] ||
+        bin_offsets_[code + 1] > bin_flat_.size()) {
+      return fail("binary CSR offsets are not a partition of the flat buffer");
+    }
+  }
+
+  // The two per-literal value entries of every variable are exact
+  // negations of each other (both are written on enqueue/unassign).
+  for (std::size_t v = 0; v < n; ++v) {
+    const LBool pos = lit_value_[2 * v];
+    const LBool neg = lit_value_[2 * v + 1];
+    const LBool expect_neg = pos == LBool::kUndef
+                                 ? LBool::kUndef
+                                 : (pos == LBool::kTrue ? LBool::kFalse
+                                                        : LBool::kTrue);
+    if (neg != expect_neg) {
+      return fail("literal value entries disagree between polarities of x" +
+                  std::to_string(v));
+    }
   }
 
   // Trail: true literals, no repeats, level segments match trail_lim_.
@@ -894,7 +1382,7 @@ bool Solver::CheckInvariants(std::string* error) const {
   }
   if (trail_.size() > n) return fail("trail longer than the variable count");
   std::size_t assigned = 0;
-  for (std::size_t v = 0; v < n; ++v) assigned += assigns_[v] != LBool::kUndef;
+  for (std::size_t v = 0; v < n; ++v) assigned += Value(static_cast<Var>(v)) != LBool::kUndef;
   if (assigned != trail_.size()) {
     return fail("assigned variables (" + std::to_string(assigned) +
                 ") != trail length (" + std::to_string(trail_.size()) + ")");
@@ -936,13 +1424,15 @@ bool Solver::CheckInvariants(std::string* error) const {
     }
   }
 
-  // Reason soundness for propagated (non-root) assignments.
+  // Reason soundness for propagated (non-root) assignments. A stale arena
+  // offset left behind by GC relocation surfaces here: the referenced
+  // header would be deleted, relocated, or imply the wrong literal.
   for (std::size_t v = 0; v < n; ++v) {
-    if (assigns_[v] == LBool::kUndef || level_[v] == 0) continue;
+    if (Value(static_cast<Var>(v)) == LBool::kUndef || level_[v] == 0) continue;
     const ClauseRef r = reason_[v];
     if (r == kNoClause) continue;  // decision (or reason nulled on removal)
     const Lit implied = Lit::Make(static_cast<Var>(v),
-                                  assigns_[v] == LBool::kFalse);
+                                  Value(static_cast<Var>(v)) == LBool::kFalse);
     if (IsBinaryReason(r)) {
       const Lit other = BinaryReasonLit(r);
       if (!other.IsValid() || static_cast<std::size_t>(other.var()) >= n ||
@@ -953,12 +1443,13 @@ bool Solver::CheckInvariants(std::string* error) const {
       }
     } else {
       if (r >= arena_.size()) {
-        return fail("reason of " + implied.ToString() + " outside the arena");
+        return fail("reason of " + implied.ToString() +
+                    " is a stale arena offset (out of bounds)");
       }
       const ClauseView c{const_cast<std::uint32_t*>(arena_.data()) + r};
-      if (c.deleted() || c.size() < 2 || c[0] != implied) {
+      if (c.deleted() || c.relocated() || c.size() < 2 || c[0] != implied) {
         return fail("reason clause of " + implied.ToString() +
-                    " does not imply it");
+                    " is stale or does not imply it");
       }
       for (std::uint32_t i = 1; i < c.size(); ++i) {
         if (Value(c[i]) != LBool::kFalse || LevelOf(c[i].var()) > level_[v]) {
@@ -971,40 +1462,55 @@ bool Solver::CheckInvariants(std::string* error) const {
 
   // Unassigned variables must be available to the decision heap.
   for (std::size_t v = 0; v < n; ++v) {
-    if (assigns_[v] == LBool::kUndef && !order_.Contains(static_cast<Var>(v))) {
+    if (Value(static_cast<Var>(v)) == LBool::kUndef && !order_.Contains(static_cast<Var>(v))) {
       return fail("unassigned variable x" + std::to_string(v) +
                   " missing from the decision heap");
     }
   }
 
-  // Binary layer: every implication entry has its mirror, counts agree.
+  // Binary layer: every implication entry (frozen CSR range + overflow)
+  // has its mirror, counts agree.
   std::uint64_t binary_entries = 0;
+  std::uint64_t overflow_entries = 0;
   std::unordered_map<std::uint64_t, std::int64_t> mirror_balance;
-  for (std::size_t code = 0; code < binary_watches_.size(); ++code) {
-    for (const Lit q : binary_watches_[code]) {
-      if (!q.IsValid() || static_cast<std::size_t>(q.var()) >= n) {
-        return fail("binary watch list " + std::to_string(code) +
-                    " holds an invalid literal");
-      }
-      ++binary_entries;
-      // Entry q in list[p.code()] encodes clause (~p \/ q); its mirror is
-      // entry ~p in list[(~q).code()]. Count each direction with opposite
-      // signs under a direction-independent key.
-      const auto pc = static_cast<std::uint64_t>(code);
-      const auto qc = static_cast<std::uint64_t>(q.code());
-      const std::uint64_t mc = qc ^ 1ull;  // mirror list index
-      const std::uint64_t mq = pc ^ 1ull;  // mirror entry code
-      const std::uint64_t forward = pc * 2 * n + qc;
-      const std::uint64_t backward = mc * 2 * n + mq;
-      if (forward <= backward) {
-        ++mirror_balance[forward];
-      } else {
-        --mirror_balance[backward];
+  for (std::size_t code = 0; code < 2 * n; ++code) {
+    const Lit* ranges[2][2];
+    ranges[0][0] = bin_flat_.data() + bin_offsets_[code];
+    ranges[0][1] = bin_flat_.data() + bin_offsets_[code + 1];
+    ranges[1][0] = bin_overflow_[code].data();
+    ranges[1][1] = ranges[1][0] + bin_overflow_[code].size();
+    overflow_entries += bin_overflow_[code].size();
+    for (int r = 0; r < 2; ++r) {
+      for (const Lit* it = ranges[r][0]; it != ranges[r][1]; ++it) {
+        const Lit q = *it;
+        if (!q.IsValid() || static_cast<std::size_t>(q.var()) >= n) {
+          return fail("binary implication list " + std::to_string(code) +
+                      " holds an invalid literal");
+        }
+        ++binary_entries;
+        // Entry q in list[p.code()] encodes clause (~p \/ q); its mirror
+        // is entry ~p in list[(~q).code()]. Count each direction with
+        // opposite signs under a direction-independent key.
+        const auto pc = static_cast<std::uint64_t>(code);
+        const auto qc = static_cast<std::uint64_t>(q.code());
+        const std::uint64_t mc = qc ^ 1ull;  // mirror list index
+        const std::uint64_t mq = pc ^ 1ull;  // mirror entry code
+        const std::uint64_t forward = pc * 2 * n + qc;
+        const std::uint64_t backward = mc * 2 * n + mq;
+        if (forward <= backward) {
+          ++mirror_balance[forward];
+        } else {
+          --mirror_balance[backward];
+        }
       }
     }
   }
+  if (overflow_entries != bin_overflow_entries_) {
+    return fail("binary overflow entry counter out of sync");
+  }
   if (binary_entries != 2 * num_binary_clauses_) {
-    return fail("binary watch entries (" + std::to_string(binary_entries) +
+    return fail("binary implication entries (" +
+                std::to_string(binary_entries) +
                 ") != 2 * num_binary_clauses_ (" +
                 std::to_string(num_binary_clauses_) + " clauses)");
   }
@@ -1016,27 +1522,49 @@ bool Solver::CheckInvariants(std::string* error) const {
     }
   }
 
-  // Arena clauses: live lists hold valid, undeleted, correctly flagged
-  // clauses, each watched on exactly its first two literals.
+  // Arena clauses: live lists hold valid, undeleted, unrelocated clauses
+  // with flags and tier tags consistent with their list and stored LBD,
+  // each watched on exactly its first two literals.
   std::unordered_set<ClauseRef> live;
   std::uint64_t expected_watchers = 0;
-  for (int pass = 0; pass < 2; ++pass) {
-    const std::vector<ClauseRef>& list = pass == 0 ? clauses_ : learnts_;
-    for (const ClauseRef cref : list) {
+  const std::vector<ClauseRef>* lists[4] = {&clauses_, &learnts_core_,
+                                            &learnts_tier2_, &learnts_local_};
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const ClauseRef cref : *lists[pass]) {
       if (cref >= arena_.size()) return fail("clause reference out of arena");
       const ClauseView c{const_cast<std::uint32_t*>(arena_.data()) + cref};
       if (static_cast<std::uint64_t>(cref) + c.Words() > arena_.size()) {
         return fail("clause overruns the arena");
       }
       if (c.deleted() || c.relocated()) {
-        return fail("deleted/relocated clause still in a live list");
+        return fail("deleted/relocated clause still in a live list "
+                    "(stale reference after GC)");
       }
       if (c.size() < 3) {
         return fail("arena clause of size " + std::to_string(c.size()) +
                     " (binaries belong to the binary layer)");
       }
-      if (c.learnt() != (pass == 1)) {
+      if (c.learnt() != (pass >= 1)) {
         return fail("clause learnt flag disagrees with its list");
+      }
+      if (c.learnt()) {
+        // The tag is authoritative between rebuckets; once clean, the
+        // holding list must match, and the tag must never be *better*
+        // than the stored LBD warrants (demotion only moves down).
+        if (!tiers_dirty_ &&
+            c.tier() != static_cast<std::uint32_t>(pass - 1)) {
+          return fail("learnt tier tag " + std::to_string(c.tier()) +
+                      " disagrees with its tier list");
+        }
+        if (c.Lbd() == 0 || c.Lbd() > c.size()) {
+          return fail("learnt clause stores LBD " + std::to_string(c.Lbd()) +
+                      " outside [1, size]");
+        }
+        if (c.tier() < TierForLbd(c.Lbd())) {
+          return fail("learnt tier tag " + std::to_string(c.tier()) +
+                      " better than its stored LBD " +
+                      std::to_string(c.Lbd()) + " warrants");
+        }
       }
       if (!live.insert(cref).second) {
         return fail("clause listed twice");
@@ -1067,7 +1595,20 @@ bool Solver::CheckInvariants(std::string* error) const {
     actual_watchers += watch_list.size();
     for (const Watcher& watcher : watch_list) {
       if (live.count(watcher.cref) == 0) {
-        return fail("watcher points at a clause outside the live lists");
+        return fail("watcher holds a stale clause offset "
+                    "(outside the live lists)");
+      }
+      // The blocking literal must belong to its clause; GC relocation and
+      // in-place strengthening both preserve this.
+      const ClauseView c{const_cast<std::uint32_t*>(arena_.data()) +
+                         watcher.cref};
+      bool member = false;
+      for (std::uint32_t i = 0; i < c.size() && !member; ++i) {
+        member = c[i] == watcher.blocker;
+      }
+      if (!member) {
+        return fail("cached blocking literal " + watcher.blocker.ToString() +
+                    " is not a literal of its clause");
       }
     }
   }
@@ -1096,18 +1637,35 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
   LBool status = LBool::kUndef;
   int restarts = 0;
   while (status == LBool::kUndef && !budget_exhausted_) {
+    // Restart boundary: the solver is at level 0, so the tier lists can be
+    // rebucketed, shared clauses spliced into the database, and tier2
+    // clauses vivified before the next descent.
+    RebucketLearnts();
+    // Learnt binaries accumulate in the scattered overflow lists; once
+    // enough pile up, fold them into the frozen CSR so the propagation
+    // fast path scans one contiguous range again.
+    if (bin_overflow_entries_ > 1024) {
+      CompactBinaryLayer(/*drop_satisfied=*/true);
+    }
     if (options_.debug_check_invariants) {
       std::string violation;
       if (!CheckInvariants(&violation)) {
-        std::fprintf(stderr, "solver invariant violated at restart %d: %s\n",
-                     restarts, violation.c_str());
+        std::fprintf(stderr, "%s (restart %d)\n", violation.c_str(),
+                     restarts);
         std::abort();
       }
     }
-    // Restart boundary: the solver is at level 0, so shared clauses can be
-    // spliced into the database before the next descent.
     if (exchange_ != nullptr) {
       ImportClauses();
+      if (!ok_) {
+        status = LBool::kFalse;
+        break;
+      }
+    }
+    if (options_.vivify && !options_.deterministic && restarts > 0 &&
+        options_.vivify_interval > 0 &&
+        restarts % options_.vivify_interval == 0) {
+      VivifyRound();
       if (!ok_) {
         status = LBool::kFalse;
         break;

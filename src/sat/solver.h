@@ -2,19 +2,25 @@
 //
 // This is the substrate that stands in for the siege_v4 and MiniSat binaries
 // used in the paper (see DESIGN.md §3). The engine implements the standard
-// modern architecture: two-watched-literal propagation, first-UIP conflict
-// analysis with clause minimization, VSIDS variable activities with phase
-// saving, Luby or geometric restarts, activity/LBD-driven learnt-clause
-// deletion, and arena garbage collection.
+// modern architecture: two-watched-literal propagation with blocking
+// literals, first-UIP conflict analysis with clause minimization, VSIDS
+// variable activities with phase saving, Luby or geometric restarts, a
+// tiered (core / tier2 / local) learnt-clause database with LBD-driven
+// deletion, arena garbage collection in watch-traversal order, and
+// restart-boundary inprocessing (on-trail strengthening + clause
+// vivification). DESIGN.md §10 documents the hot-path layout decisions.
 //
 // Binary clauses get a dedicated implication layer: routing CNFs are
 // dominated by 2-literal exclusivity clauses (one per conflicting track
 // pair), so 2-literal clauses never enter the arena. Instead each literal
 // keeps a flat list of the literals it implies, consulted before the general
 // watch lists in Propagate — a whole binary pass touches no clause memory.
-// The reason for a binary implication is the packed other literal (see
-// kBinaryReasonBit), not a clause reference, and binary learnts are
-// permanent (exempt from LBD-driven deletion).
+// The lists live in a single CSR-style array (offsets + one flat literal
+// buffer) compacted at restart boundaries, with small per-literal overflow
+// vectors absorbing learnts between compactions. The reason for a binary
+// implication is the packed other literal (see kBinaryReasonBit), not a
+// clause reference, and binary learnts are permanent (exempt from
+// LBD-driven deletion).
 //
 // Two option presets mirror the paper's two solvers:
 //   SolverOptions::SiegeLike()   — tuned for refutation (UNSAT) throughput,
@@ -24,12 +30,14 @@
 // (used by the portfolio runner) abort the search with SolveResult::kUnknown.
 // A solver can additionally be wired to a ClauseExchange (SetClauseExchange):
 // it then exports units and low-LBD learnts after every conflict and imports
-// pending shared clauses at restart boundaries (ImportClauses).
+// pending shared clauses at restart boundaries (ImportClauses); imported
+// clauses land in the learnt tier matching their sender-side LBD.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -47,7 +55,7 @@ const char* ToString(SolveResult result);
 
 struct SolverOptions {
   // VSIDS decay applied after every conflict.
-  double var_decay = 0.95;
+  double var_decay = 0.99;
   // Learnt-clause activity decay.
   double clause_decay = 0.999;
   // Fraction of decisions taken uniformly at random (diversification).
@@ -58,11 +66,12 @@ struct SolverOptions {
   bool default_phase_positive = false;
   // Restart schedule: Luby sequence scaled by restart_base, or geometric
   // with ratio restart_growth starting at restart_base.
-  bool luby_restarts = true;
+  bool luby_restarts = false;
   int restart_base = 100;
   double restart_growth = 1.5;
-  // Learnt database: allowed size starts at learnt_size_factor * #clauses
-  // and grows by learnt_size_inc at every reduction.
+  // Learnt database: allowed size of the *local* tier starts at
+  // learnt_size_factor * #clauses and grows by learnt_size_inc at every
+  // reduction. Core and tier2 clauses do not count against the limit.
   double learnt_size_factor = 1.0 / 3.0;
   double learnt_size_inc = 1.15;
   // Clause sharing (only when a ClauseExchange is attached): learnts with
@@ -70,6 +79,38 @@ struct SolverOptions {
   std::uint32_t share_max_lbd = 2;
   // Seed for random decisions / polarities.
   std::uint64_t seed = 91648253;
+
+  // ---- BCP hot-path & database policy (DESIGN.md §10) ----
+  // Consult the cached blocking literal before touching clause memory in
+  // Propagate. Off only for ablation benchmarks.
+  bool use_blocking_literals = true;
+  // Periodic arena compaction in watch-traversal order. A collection runs
+  // when at least half the arena (and at least gc_min_arena_words words)
+  // is dead. Off only for ablation benchmarks.
+  bool gc_enabled = true;
+  std::uint32_t gc_min_arena_words = 1u << 16;
+  // Tiered learnt database: learnts with LBD <= core_lbd_max are kept
+  // forever, LBD <= tier2_lbd_max enter tier2 (demoted to local when they
+  // go unused between reductions), the rest are local and aggressively
+  // recycled. With use_tiers off every learnt is local (the pre-tier
+  // activity/LBD policy).
+  bool use_tiers = true;
+  std::uint32_t core_lbd_max = 2;
+  std::uint32_t tier2_lbd_max = 6;
+  // Restart-boundary inprocessing: every vivify_interval-th restart, tier2
+  // clauses are vivified (re-derived under unit propagation and shortened
+  // when the database already implies a subclause) under a propagation
+  // budget. Level-0 strengthening (dropping falsified literals / deleting
+  // clauses subsumed by the trail) rides on the same flag.
+  bool vivify = true;
+  int vivify_interval = 8;
+  std::int64_t vivify_propagation_budget = 1 << 14;
+  // Reference mode: disables all restart-time inprocessing (vivification
+  // and on-trail strengthening) so the clause database evolves exactly as
+  // the plain CDCL derivation produces it. Differential tests and
+  // proof-replay debugging compare against this mode.
+  bool deterministic = false;
+
   // Run CheckInvariants at every restart boundary and abort on a violation.
   // Debug aid for solver changes; off by default (full scans are O(arena)).
   bool debug_check_invariants = false;
@@ -90,15 +131,40 @@ struct SolverStats {
   std::uint64_t learned = 0;
   std::uint64_t removed = 0;
   std::uint64_t minimized_literals = 0;
+  // Watcher entries examined in Propagate, and how many were dismissed by
+  // their blocking literal alone (no clause memory touched). The ratio is
+  // the direct measure of what the blocker field buys.
+  std::uint64_t watch_inspections = 0;
+  std::uint64_t blocker_hits = 0;
   std::uint64_t gc_runs = 0;
+  // Tier traffic: promotions move a clause towards core when its recomputed
+  // LBD improves; demotions move unused tier2 clauses to local.
+  std::uint64_t tier_promotions = 0;
+  std::uint64_t tier_demotions = 0;
+  // Inprocessing: clauses shortened by vivification, literals they lost,
+  // and clauses deleted/strengthened against the level-0 trail.
+  std::uint64_t clauses_vivified = 0;
+  std::uint64_t lits_removed_vivify = 0;
+  std::uint64_t clauses_strengthened = 0;
   std::uint64_t exported_clauses = 0;
   std::uint64_t imported_clauses = 0;
+  // Imports dropped because a clause with the same literal set was already
+  // exported or imported by this solver (identity survives arena GC — the
+  // hash covers literals, not clause addresses).
+  std::uint64_t import_duplicates = 0;
   double solve_seconds = 0.0;
 
   /// Assignments propagated per second of solving (0 before any solve).
   double PropagationsPerSecond() const {
     return solve_seconds > 0.0
                ? static_cast<double>(propagations) / solve_seconds
+               : 0.0;
+  }
+  /// Fraction of watcher inspections resolved by the blocking literal.
+  double BlockerHitRate() const {
+    return watch_inspections > 0
+               ? static_cast<double>(blocker_hits) /
+                     static_cast<double>(watch_inspections)
                : 0.0;
   }
 };
@@ -118,7 +184,7 @@ class Solver {
   /// streaming clause emission (sat/clause_sink.h).
   void EnsureVars(int n);
 
-  int num_vars() const { return static_cast<int>(assigns_.size()); }
+  int num_vars() const { return static_cast<int>(level_.size()); }
 
   /// Adds a clause (simplified against the level-0 assignment). Returns
   /// false if the formula became trivially unsatisfiable.
@@ -159,28 +225,33 @@ class Solver {
   bool okay() const { return ok_; }
 
   /// Approximate heap footprint of the clause storage in bytes: arena,
-  /// binary-implication lists, and watch lists (capacities, not sizes).
-  /// Basis for the collector-vs-direct peak-memory comparison in the
-  /// benches.
+  /// binary-implication layer (CSR + overflow), and watch lists
+  /// (capacities, not sizes). Basis for the collector-vs-direct
+  /// peak-memory comparison in the benches.
   std::size_t ClauseMemoryBytes() const;
 
   /// Full consistency scan over the solver's internal state: per-variable
   /// array sizes, trail/decision-level well-formedness, reason soundness
   /// (the implied literal is true, all others false at earlier-or-equal
   /// levels), binary-layer symmetry (every implication has its mirror and
-  /// the entry count matches num_binary_clauses_), and watch-list <-> arena
+  /// the entry count matches num_binary_clauses_), watch-list <-> arena
   /// agreement (every live clause is watched on exactly its first two
-  /// literals and every watcher points at a live clause). Safe to call at
-  /// any quiescent point (between solves, at restart boundaries, from
-  /// tests). Returns false and fills `error` on the first violation.
+  /// literals, every watcher points at a live clause, and every cached
+  /// blocking literal is a literal of its clause — a stale watcher or
+  /// blocker after GC relocation fails here), and tier-tag hygiene (a
+  /// clause's tier tag is consistent with its stored LBD and with the tier
+  /// list holding it). Safe to call at any quiescent point (between
+  /// solves, at restart boundaries, from tests). Returns false and fills
+  /// `error` on the first violation.
   bool CheckInvariants(std::string* error = nullptr) const;
 
   /// Attaches a DRUP-style proof log: every clause the solver derives
-  /// (learned clauses, strengthened input clauses, and the final empty
-  /// clause on UNSAT) is appended to `log` in derivation order, so that an
-  /// UNSAT answer can be re-verified with VerifyRupRefutation against the
-  /// original formula. Attach before adding clauses; pass nullptr to
-  /// detach. Logging is off by default (it retains every learned clause).
+  /// (learned clauses, strengthened input clauses, vivified clauses, and
+  /// the final empty clause on UNSAT) is appended to `log` in derivation
+  /// order, so that an UNSAT answer can be re-verified with
+  /// VerifyRupRefutation against the original formula. Attach before
+  /// adding clauses; pass nullptr to detach. Logging is off by default (it
+  /// retains every learned clause).
   void SetProofLog(std::vector<Clause>* log) { proof_log_ = log; }
 
   /// Connects this solver to a portfolio clause-exchange buffer as the
@@ -196,10 +267,13 @@ class Solver {
   }
 
   /// Imports every pending shared clause from the attached exchange into
-  /// the level-0 clause database. Called automatically at restart
-  /// boundaries; safe to call between solves. Returns the number of
-  /// clauses taken from the exchange (okay() turns false if an import
-  /// refutes the formula).
+  /// the clause database (learnt tier chosen from the sender's LBD).
+  /// Clauses whose literal set this solver already exported or imported
+  /// are dropped — the literal hash, unlike a clause reference, survives
+  /// arena GC, so a clause cannot round-trip back in under a new identity.
+  /// Called automatically at restart boundaries; safe to call between
+  /// solves. Returns the number of clauses taken from the exchange
+  /// (okay() turns false if an import refutes the formula).
   std::size_t ImportClauses();
 
  private:
@@ -224,18 +298,42 @@ class Solver {
     return Lit::Make(code >> 1, (code & 1) != 0);
   }
 
+  // Learnt tiers, CaDiCaL-style. The tier tag in the clause header is
+  // authoritative; the three cref lists are re-bucketed from the tags at
+  // every reduction/restart boundary (RebucketLearnts), so a promotion is
+  // a 2-bit header write in the hot path, never a list splice.
+  enum Tier : std::uint32_t { kTierCore = 0, kTierTwo = 1, kTierLocal = 2 };
+
   // Arena clause layout (32-bit words):
-  //   word0: size << 3 | learnt(1) | deleted(2) | relocated(4)
+  //   word0: size << 6 | used(32) | tier(8|16) | relocated(4) | deleted(2)
+  //          | learnt(1)
+  //   [relocated only] word1: forwarding reference into the new arena
   //   [learnt only] word1: activity (float bits), word2: LBD
   //   then `size` literal codes.
   struct ClauseView {
     std::uint32_t* header;
 
-    std::uint32_t size() const { return *header >> 3; }
+    std::uint32_t size() const { return *header >> 6; }
     bool learnt() const { return (*header & 1u) != 0; }
     bool deleted() const { return (*header & 2u) != 0; }
     void MarkDeleted() { *header |= 2u; }
     bool relocated() const { return (*header & 4u) != 0; }
+    std::uint32_t tier() const { return (*header >> 3) & 3u; }
+    void SetTier(std::uint32_t tier) const {
+      *header = (*header & ~(3u << 3)) | (tier << 3);
+    }
+    bool used() const { return (*header & 32u) != 0; }
+    void SetUsed() const { *header |= 32u; }
+    void ClearUsed() const { *header &= ~32u; }
+    void SetSize(std::uint32_t n) const {
+      *header = (*header & 63u) | (n << 6);
+    }
+    // Forwarding pointer left behind by GC (valid once relocated()).
+    std::uint32_t ForwardRef() const { return header[1]; }
+    void MarkRelocated(std::uint32_t new_ref) const {
+      *header |= 4u;
+      header[1] = new_ref;
+    }
     Lit* lits() const {
       return reinterpret_cast<Lit*>(header + (learnt() ? 3 : 1));
     }
@@ -252,6 +350,12 @@ class Solver {
   };
 
   // Max-heap over variable activities.
+  // Max-heap over variable activities. Each node carries its sort key next
+  // to the variable id, so sifting compares adjacent memory instead of
+  // gathering from the activity array (a cache miss per comparison on big
+  // heaps). Keys are refreshed from the activity array on Insert/Update
+  // and rescaled in place when the activities are (rescaling preserves
+  // order, so no re-heapify).
   class VarOrder {
    public:
     explicit VarOrder(const std::vector<double>& activity)
@@ -260,18 +364,20 @@ class Solver {
     bool Contains(Var v) const;
     void Insert(Var v);
     void Update(Var v);  // activity of v increased
+    void RescaleKeys(double factor);
     Var RemoveMax();
     void Grow(int num_vars);
 
    private:
-    bool Before(Var a, Var b) const {
-      return activity_[static_cast<std::size_t>(a)] >
-             activity_[static_cast<std::size_t>(b)];
-    }
+    struct Node {
+      double key;
+      Var v;
+    };
+    static bool Before(const Node& a, const Node& b) { return a.key > b.key; }
     void SiftUp(std::size_t i);
     void SiftDown(std::size_t i);
     const std::vector<double>& activity_;
-    std::vector<Var> heap_;
+    std::vector<Node> heap_;
     std::vector<int> position_;  // var -> heap index or -1
   };
 
@@ -279,10 +385,29 @@ class Solver {
     return ClauseView{arena_.data() + cref};
   }
 
-  LBool Value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
-  LBool Value(Lit l) const { return LitValue(l, Value(l.var())); }
+  // Values are stored per literal code (both polarities written on
+  // enqueue) so the propagation loops resolve a literal with a single
+  // indexed load; the variable value is the positive literal's entry.
+  LBool Value(Var v) const {
+    return lit_value_[static_cast<std::size_t>(v) << 1];
+  }
+  LBool Value(Lit l) const {
+    return lit_value_[static_cast<std::size_t>(l.code())];
+  }
   int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
   int LevelOf(Var v) const { return level_[static_cast<std::size_t>(v)]; }
+
+  std::uint32_t TierForLbd(std::uint32_t lbd) const {
+    if (!options_.use_tiers) return kTierLocal;
+    if (lbd <= options_.core_lbd_max) return kTierCore;
+    if (lbd <= options_.tier2_lbd_max) return kTierTwo;
+    return kTierLocal;
+  }
+  std::vector<ClauseRef>& TierList(std::uint32_t tier) {
+    return tier == kTierCore   ? learnts_core_
+           : tier == kTierTwo ? learnts_tier2_
+                               : learnts_local_;
+  }
 
   ClauseRef AllocClause(const Clause& lits, bool learnt);
   void FreeClause(ClauseRef cref);
@@ -291,9 +416,17 @@ class Solver {
   void AttachBinary(Lit a, Lit b);
   bool Locked(ClauseRef cref);
   void RemoveClause(ClauseRef cref);
+  // Registers a freshly allocated learnt in its tier (tag + list + stats).
+  void RegisterLearnt(ClauseRef cref, std::uint32_t lbd);
+  // Adds one clause collected from the exchange; learnt-tier placement by
+  // the sender's LBD. Returns false if the formula became unsatisfiable.
+  bool AddImportedClause(const Clause& clause, std::uint32_t lbd);
 
   void UncheckedEnqueue(Lit p, ClauseRef from);
+  void UnassignForBacktrack(Lit p);
   ClauseRef Propagate();
+  template <bool UseBlockers>
+  ClauseRef PropagateImpl();
   void Analyze(ClauseRef confl, Clause& out_learnt, int& out_btlevel,
                std::uint32_t& out_lbd);
   bool LitRedundant(Lit p, std::uint32_t abstract_levels);
@@ -310,13 +443,30 @@ class Solver {
   void DecayVarActivity() { var_inc_ /= options_.var_decay; }
   void BumpClauseActivity(ClauseView c);
   void DecayClauseActivity() { clause_inc_ /= options_.clause_decay; }
+  // Recomputes the LBD of a learnt clause touched by conflict analysis and
+  // promotes it towards core when the value improved (tag-only; the list
+  // move happens at the next RebucketLearnts).
+  void UpdateLearntOnUse(ClauseView c);
 
   void ReduceDb();
+  void RebucketLearnts();
   void RemoveSatisfied(std::vector<ClauseRef>& list);
-  void RemoveSatisfiedBinaries();
+  // Rebuilds the binary CSR, folding in overflow entries; when
+  // drop_satisfied is set (level 0 only), entries of clauses satisfied by
+  // the trail are dropped on the way.
+  void CompactBinaryLayer(bool drop_satisfied);
   void SimplifyAtLevelZero();
+  // Vivifies tier2 clauses under the propagation budget; restart-boundary
+  // inprocessing (level 0 only).
+  void VivifyRound();
+  // Vivifies one clause; returns false if the formula became unsat.
+  bool VivifyClause(ClauseRef cref);
   void CollectGarbageIfNeeded();
-  std::uint32_t ComputeLbd(const Clause& lits);
+  void CollectGarbage();
+  std::uint32_t ComputeLbd(const Lit* lits, std::size_t size);
+  std::uint32_t ComputeLbd(const Clause& lits) {
+    return ComputeLbd(lits.data(), lits.size());
+  }
   void ExportLearnt(const Clause& learnt, std::uint32_t lbd);
 
   // Returns kTrue (model found), kFalse (UNSAT), or kUndef (restart or
@@ -334,25 +484,80 @@ class Solver {
   std::vector<std::uint32_t> arena_;
   std::uint64_t wasted_words_ = 0;
   std::vector<ClauseRef> clauses_;
-  std::vector<ClauseRef> learnts_;
+  // Learnt tiers (DESIGN.md §10): core is permanent, tier2 is demoted on
+  // disuse, local is halved at every reduction.
+  std::vector<ClauseRef> learnts_core_;
+  std::vector<ClauseRef> learnts_tier2_;
+  std::vector<ClauseRef> learnts_local_;
+  // Set when a promotion happened since the last rebucket, so quiescent
+  // points know the tier lists may disagree with the header tags.
+  bool tiers_dirty_ = false;
 
   std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
-  // Binary-implication layer: binary_watches_[p.code()] holds every literal
-  // q with a clause (~p \/ q) — i.e. the literals implied the moment p is
-  // assigned true. The implied literal is stored inline, so binary
-  // propagation never dereferences the arena.
-  std::vector<std::vector<Lit>> binary_watches_;
+  // Binary-implication layer, CSR form: the literals implied by literal
+  // code c are bin_flat_[bin_offsets_[c] .. bin_offsets_[c+1]) plus the
+  // overflow list bin_overflow_[c] (entries added since the last
+  // compaction). The implied literal is stored inline, so binary
+  // propagation never dereferences the arena; the flat buffer keeps the
+  // whole frozen layer contiguous.
+  std::vector<std::uint32_t> bin_offsets_;
+  std::vector<Lit> bin_flat_;
+  std::vector<std::vector<Lit>> bin_overflow_;
+  // Dense per-code flag mirroring !bin_overflow_[code].empty(), so the
+  // propagation loop skips the scattered vector headers of the (usually
+  // empty) overflow lists.
+  std::vector<std::uint8_t> bin_overflow_nonempty_;
+  std::uint64_t bin_overflow_entries_ = 0;
   std::uint64_t num_binary_clauses_ = 0;
   Lit binary_conflict_[2] = {kUndefLit, kUndefLit};
 
-  std::vector<LBool> assigns_;
-  std::vector<bool> saved_phase_;
+  std::vector<LBool> lit_value_;  // indexed by lit code, both polarities
+  std::vector<std::uint8_t> saved_phase_;  // byte per var: bit ops off the
+                                           // backtrack path
   std::vector<int> level_;
   std::vector<ClauseRef> reason_;
   std::vector<double> activity_;
   VarOrder order_;
 
-  std::vector<Lit> trail_;
+  // Fixed-capacity assignment trail. Capacity is one slot per variable
+  // (grown in NewVar/EnsureVars before any search), so the hot-path push
+  // is a single store with no growth check, and resize is a plain size
+  // write (std::vector::resize would value-initialize the tail, clobbering
+  // literals the propagation loop wrote through data()).
+  class Trail {
+   public:
+    void Reserve(std::size_t cap) {
+      if (cap <= cap_) return;
+      Lit* grown = new Lit[cap];
+      for (std::size_t i = 0; i < size_; ++i) grown[i] = data_[i];
+      delete[] data_;
+      data_ = grown;
+      cap_ = cap;
+    }
+    ~Trail() { delete[] data_; }
+    Trail() = default;
+    Trail(const Trail&) = delete;
+    Trail& operator=(const Trail&) = delete;
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    Lit operator[](std::size_t i) const { return data_[i]; }
+    Lit* data() { return data_; }
+    const Lit* data() const { return data_; }
+    const Lit* begin() const { return data_; }
+    const Lit* end() const { return data_ + size_; }
+    void push_back(Lit l) { data_[size_++] = l; }
+    void resize(std::size_t n) { size_ = n; }
+    // After writes through data() past size() (the propagation loop keeps
+    // the live size in a register), publish the new length.
+    void SetSize(std::size_t n) { size_ = n; }
+
+   private:
+    Lit* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+  };
+
+  Trail trail_;
   std::vector<int> trail_lim_;
   std::size_t qhead_ = 0;      // next trail index for long-clause watches
   std::size_t qhead_bin_ = 0;  // next trail index for the binary layer
@@ -362,16 +567,23 @@ class Solver {
   double max_learnts_ = 0.0;
   bool budget_exhausted_ = false;
   std::int64_t simplify_trail_size_ = -1;
+  std::size_t vivify_cursor_ = 0;
   std::vector<Clause>* proof_log_ = nullptr;
   std::vector<Lit> assumptions_;
   bool conflict_under_assumptions_ = false;
 
   ClauseExchange* exchange_ = nullptr;
   int exchange_participant_ = -1;
-  std::vector<Clause> import_buffer_;
+  // Literal hashes of every clause this solver has exported or imported;
+  // the import path drops clauses whose hash is present (see
+  // ImportClauses).
+  std::unordered_set<std::uint64_t> exchange_seen_;
 
   // Scratch for the span AddClause (capacity reused across calls).
   Clause add_scratch_;
+  // Scratch for VivifyClause (original literals / kept literals).
+  Clause vivify_lits_;
+  Clause vivify_kept_;
 
   // Scratch for Analyze.
   std::vector<char> seen_;

@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "sat/solver.h"
+
 namespace satfr::sat {
 namespace {
 
@@ -27,12 +29,12 @@ TEST(ClauseExchangeTest, NoSelfImport) {
   const int a = exchange.Register(1, 1);
   const int b = exchange.Register(1, 1);
   exchange.Publish(a, C({1, 2}));
-  std::vector<Clause> got;
+  std::vector<SharedClause> got;
   EXPECT_EQ(exchange.Collect(a, &got), 0u);
   EXPECT_TRUE(got.empty());
   EXPECT_EQ(exchange.Collect(b, &got), 1u);
   ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0], C({1, 2}));
+  EXPECT_EQ(got[0].lits, C({1, 2}));
 }
 
 TEST(ClauseExchangeTest, CursorOnlyReturnsNewClauses) {
@@ -40,13 +42,13 @@ TEST(ClauseExchangeTest, CursorOnlyReturnsNewClauses) {
   const int a = exchange.Register(1, 1);
   const int b = exchange.Register(1, 1);
   exchange.Publish(a, C({1}));
-  std::vector<Clause> got;
+  std::vector<SharedClause> got;
   EXPECT_EQ(exchange.Collect(b, &got), 1u);
   EXPECT_EQ(exchange.Collect(b, &got), 0u);  // already seen
   exchange.Publish(a, C({2}));
   EXPECT_EQ(exchange.Collect(b, &got), 1u);
   ASSERT_EQ(got.size(), 2u);
-  EXPECT_EQ(got[1], C({2}));
+  EXPECT_EQ(got[1].lits, C({2}));
 }
 
 TEST(ClauseExchangeTest, FullKeyMismatchBlocksNonUnits) {
@@ -55,10 +57,10 @@ TEST(ClauseExchangeTest, FullKeyMismatchBlocksNonUnits) {
   const int b = exchange.Register(/*full_key=*/2, /*unit_key=*/9);
   exchange.Publish(a, C({1, 2}));  // non-unit: needs full compatibility
   exchange.Publish(a, C({3}));     // unit: needs only unit compatibility
-  std::vector<Clause> got;
+  std::vector<SharedClause> got;
   EXPECT_EQ(exchange.Collect(b, &got), 1u);
   ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0], C({3}));
+  EXPECT_EQ(got[0].lits, C({3}));
 }
 
 TEST(ClauseExchangeTest, IncompatibleKeysExchangeNothing) {
@@ -67,7 +69,7 @@ TEST(ClauseExchangeTest, IncompatibleKeysExchangeNothing) {
   const int b = exchange.Register(2, 2);
   exchange.Publish(a, C({1, 2}));
   exchange.Publish(a, C({3}));
-  std::vector<Clause> got;
+  std::vector<SharedClause> got;
   EXPECT_EQ(exchange.Collect(b, &got), 0u);
   EXPECT_TRUE(got.empty());
 }
@@ -78,7 +80,7 @@ TEST(ClauseExchangeTest, DuplicatesAreDropped) {
   const int b = exchange.Register(1, 1);
   exchange.Publish(a, C({1, 2}));
   exchange.Publish(b, C({2, 1}));  // same clause, different literal order
-  std::vector<Clause> got;
+  std::vector<SharedClause> got;
   EXPECT_EQ(exchange.Collect(b, &got), 1u);
   EXPECT_EQ(exchange.totals().duplicates_dropped, 1u);
 }
@@ -90,11 +92,11 @@ TEST(ClauseExchangeTest, CapacityEvictsOldest) {
   exchange.Publish(a, C({1}));
   exchange.Publish(a, C({2}));
   exchange.Publish(a, C({3}));  // evicts {1}
-  std::vector<Clause> got;
+  std::vector<SharedClause> got;
   EXPECT_EQ(exchange.Collect(b, &got), 2u);
   ASSERT_EQ(got.size(), 2u);
-  EXPECT_EQ(got[0], C({2}));
-  EXPECT_EQ(got[1], C({3}));
+  EXPECT_EQ(got[0].lits, C({2}));
+  EXPECT_EQ(got[1].lits, C({3}));
   EXPECT_EQ(exchange.totals().evicted, 1u);
 }
 
@@ -103,7 +105,7 @@ TEST(ClauseExchangeTest, EmptyClauseIgnored) {
   const int a = exchange.Register(1, 1);
   const int b = exchange.Register(1, 1);
   exchange.Publish(a, Clause{});
-  std::vector<Clause> got;
+  std::vector<SharedClause> got;
   EXPECT_EQ(exchange.Collect(b, &got), 0u);
   EXPECT_EQ(exchange.totals().published, 0u);
 }
@@ -114,12 +116,71 @@ TEST(ClauseExchangeTest, TotalsTrackTraffic) {
   const int b = exchange.Register(1, 1);
   exchange.Publish(a, C({1, 2}));
   exchange.Publish(b, C({-1, 3}));
-  std::vector<Clause> got;
+  std::vector<SharedClause> got;
   exchange.Collect(a, &got);
   exchange.Collect(b, &got);
   const ClauseExchange::Totals totals = exchange.totals();
   EXPECT_EQ(totals.published, 2u);
   EXPECT_EQ(totals.collected, 2u);
+}
+
+TEST(ClauseExchangeTest, LbdTravelsWithTheClause) {
+  ClauseExchange exchange;
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+  exchange.Publish(a, C({1, 2, 3}), /*lbd=*/2);
+  exchange.Publish(a, C({4, 5}));  // default: lbd unknown (0)
+  std::vector<SharedClause> got;
+  EXPECT_EQ(exchange.Collect(b, &got), 2u);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].lbd, 2u);
+  EXPECT_EQ(got[1].lbd, 0u);
+}
+
+TEST(ClauseExchangeTest, HashIgnoresLiteralOrder) {
+  EXPECT_EQ(ClauseExchange::HashClause(C({1, -2, 3})),
+            ClauseExchange::HashClause(C({3, 1, -2})));
+  EXPECT_NE(ClauseExchange::HashClause(C({1, -2, 3})),
+            ClauseExchange::HashClause(C({1, 2, 3})));
+}
+
+TEST(ClauseExchangeTest, SolverDropsReofferedClauseByLiteralHash) {
+  // Regression: the exchange's duplicate window is bounded, so a clause a
+  // solver already took can be re-offered later (evicted, then published
+  // again — by another member, or as an echo of the solver's own export).
+  // After the importer's arena GC the original copy lives at a different
+  // address, so no clause-reference comparison can recognize the re-offer;
+  // the solver must dedup by the order-insensitive literal hash and count
+  // the drop in stats().import_duplicates.
+  ClauseExchange exchange(/*capacity=*/1);
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+
+  Solver solver;
+  Cnf base(/*num_vars=*/6);
+  base.AddClause(C({1, 2, 3, 4, 5, 6}));
+  ASSERT_TRUE(solver.AddCnf(base));
+  solver.SetClauseExchange(&exchange, a);
+
+  exchange.Publish(b, C({1, 2, 3}));
+  EXPECT_EQ(solver.ImportClauses(), 1u);
+
+  // Publish enough distinct clauses to overflow the exchange's own dedup
+  // set (it resets past capacity * 4 hashes), so the permuted re-offer of
+  // the first clause is accepted again under a fresh sequence number.
+  exchange.Publish(b, C({4, 5}));
+  exchange.Publish(b, C({-1, -2}));
+  exchange.Publish(b, C({-3, -4}));
+  exchange.Publish(b, C({5, 6}));
+  exchange.Publish(b, C({-5, -6}));
+  exchange.Publish(b, C({3, 1, 2}));
+  ASSERT_EQ(exchange.totals().duplicates_dropped, 0u);
+
+  // Capacity 1: only the re-offer is still in the window, and the solver's
+  // literal-hash dedup must reject it.
+  EXPECT_EQ(solver.ImportClauses(), 0u);
+  EXPECT_EQ(solver.stats().import_duplicates, 1u);
+  EXPECT_EQ(solver.stats().imported_clauses, 1u);
 }
 
 TEST(ClauseExchangeTest, ConcurrentPublishCollectIsSafe) {
@@ -134,7 +195,7 @@ TEST(ClauseExchangeTest, ConcurrentPublishCollectIsSafe) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&exchange, &ids, t] {
-      std::vector<Clause> got;
+      std::vector<SharedClause> got;
       for (int r = 0; r < kRounds; ++r) {
         exchange.Publish(ids[static_cast<std::size_t>(t)],
                          C({t * kRounds + r + 1}));

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Gate solver-throughput regressions in CI.
+
+Compares a google-benchmark JSON report (--benchmark_format=json) against a
+committed baseline file (bench/baseline_pr5.json) of per-benchmark counter
+floors. A benchmark fails if its counter lands below
+(1 - tolerance) * baseline; benchmarks present in the report but not in the
+baseline are ignored, while baseline entries missing from the report fail
+(a silently skipped benchmark must not look like a pass).
+
+Usage: check_bench_regression.py <baseline.json> <report.json>
+Exits nonzero on any failure, printing one line per benchmark either way.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        report = json.load(f)
+
+    counter = baseline.get("counter", "props/s")
+    tolerance = float(baseline.get("tolerance", 0.10))
+    floors = baseline["baselines"]
+
+    measured = {}
+    for bench in report.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) carry run_type "aggregate";
+        # plain repetitions and single runs are "iteration".
+        if bench.get("run_type") == "aggregate" and (
+                bench.get("aggregate_name") != "mean"):
+            continue
+        name = bench.get("run_name", bench.get("name", ""))
+        if counter in bench:
+            measured[name] = float(bench[counter])
+
+    failures = 0
+    for name, floor in floors.items():
+        threshold = (1.0 - tolerance) * float(floor)
+        if name not in measured:
+            print(f"FAIL {name}: missing from report (counter '{counter}')")
+            failures += 1
+            continue
+        value = measured[name]
+        verdict = "ok" if value >= threshold else "FAIL"
+        print(f"{verdict} {name}: {value / 1e6:.2f}M vs floor "
+              f"{threshold / 1e6:.2f}M (baseline {float(floor) / 1e6:.2f}M "
+              f"- {tolerance:.0%})")
+        if value < threshold:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

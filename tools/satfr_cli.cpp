@@ -197,6 +197,32 @@ int CmdProve(const CliOptions& opts) {
   return 0;
 }
 
+// Hot-path and inprocessing counters, one line each. Zero-activity lines
+// are elided so solvers running with features disabled stay quiet.
+void PrintSolverDetail(const sat::SolverStats& s) {
+  std::printf("watch: %llu inspections, %llu blocker hits (%.1f%%)\n",
+              static_cast<unsigned long long>(s.watch_inspections),
+              static_cast<unsigned long long>(s.blocker_hits),
+              100.0 * s.BlockerHitRate());
+  if (s.gc_runs > 0 || s.tier_promotions > 0 || s.tier_demotions > 0) {
+    std::printf("db: %llu gc runs, %llu tier promotions, %llu demotions\n",
+                static_cast<unsigned long long>(s.gc_runs),
+                static_cast<unsigned long long>(s.tier_promotions),
+                static_cast<unsigned long long>(s.tier_demotions));
+  }
+  if (s.clauses_vivified > 0 || s.clauses_strengthened > 0) {
+    std::printf("inprocess: %llu clauses vivified (-%llu lits), "
+                "%llu strengthened\n",
+                static_cast<unsigned long long>(s.clauses_vivified),
+                static_cast<unsigned long long>(s.lits_removed_vivify),
+                static_cast<unsigned long long>(s.clauses_strengthened));
+  }
+  if (s.import_duplicates > 0) {
+    std::printf("exchange: %llu duplicate imports dropped\n",
+                static_cast<unsigned long long>(s.import_duplicates));
+  }
+}
+
 int CmdRoute(const CliOptions& opts) {
   if (opts.positional.empty() || opts.width < 1) Usage();
   const LoadedBenchmark loaded = LoadBenchmark(opts.positional[0]);
@@ -219,6 +245,7 @@ int CmdRoute(const CliOptions& opts) {
                   result.solver_stats.imported_clauses),
               static_cast<unsigned long long>(
                   result.solver_stats.exported_clauses));
+  PrintSolverDetail(result.solver_stats);
   if (result.status == sat::SolveResult::kSat) {
     std::string error;
     if (!flow::ValidateTrackAssignment(loaded.arch, loaded.routing,
@@ -298,6 +325,7 @@ int CmdSolve(const CliOptions& opts) {
               static_cast<unsigned long long>(
                   solver.stats().binary_propagations),
               solver.stats().PropagationsPerSecond() / 1e6);
+  PrintSolverDetail(solver.stats());
   return result == sat::SolveResult::kUnknown ? 1 : 0;
 }
 
