@@ -1,0 +1,177 @@
+// E11 — Cube-and-conquer parallel scaling on the unroutable (W = W*-1)
+// MCNC-style configurations: the hard UNSAT proofs the paper's Table 2 is
+// built around, re-run through the cube worker pool at 1/2/4/8 workers
+// with the lock-free clause exchange on.
+//
+// Each instance is also solved monolithically (same encoding/heuristic/
+// solver preset) as the single-search reference. Verdicts must agree —
+// a cube run that is not UNSAT on an unroutable configuration aborts the
+// bench. With a JSON output path the per-cell wall times land in a report
+// (BENCH_pr6.json in CI) that tools/check_parallel_speedup.py gates,
+// scaling its expectation by the machine's core count: per-worker speedup
+// is only measurable when the cores exist (this bench records
+// hardware_concurrency in the report for exactly that reason).
+//
+// Usage: bench_cube [report.json]
+// Env:   SATFR_BENCH_TIMEOUT, SATFR_BENCH_SET (see bench_util.h),
+//        SATFR_BENCH_WORKERS  comma-free max worker count (default 8)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cube/cube_solver.h"
+#include "flow/detailed_router.h"
+
+namespace {
+
+using namespace satfr;
+
+int MaxWorkers() {
+  if (const char* env = std::getenv("SATFR_BENCH_WORKERS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 8;
+}
+
+struct Cell {
+  double seconds = 0.0;
+  bool timed_out = false;
+  std::size_t cubes = 0;
+  std::size_t stolen = 0;
+};
+
+struct InstanceRow {
+  std::string name;
+  int width = 0;
+  Cell monolithic;
+  std::vector<Cell> by_workers;  // parallel to the worker-count list
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double timeout = bench::BenchTimeoutSeconds();
+  const int max_workers = MaxWorkers();
+  std::vector<int> worker_counts;
+  for (int w = 1; w <= max_workers; w *= 2) worker_counts.push_back(w);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf(
+      "== Cube-and-conquer scaling on unroutable configurations (W = W*-1) "
+      "==\n   encoding ITE-linear-2+muldirect/s1, per-solve timeout %.1fs, "
+      "%u hardware threads\n\n",
+      timeout, cores);
+  std::printf("%-12s %6s %12s", "benchmark", "W", "monolithic");
+  for (const int w : worker_counts) {
+    std::printf(" %9s", ("cube x" + std::to_string(w)).c_str());
+  }
+  std::printf(" %9s\n", "speedup");
+
+  std::vector<InstanceRow> rows;
+  for (const std::string& name : bench::BenchInstanceNames()) {
+    const bench::Instance inst = bench::LoadInstance(name);
+    const int width = inst.min_width - 1;
+    if (width < 1) {
+      std::printf("%-12s  (W*=1: no unroutable configuration)\n",
+                  name.c_str());
+      continue;
+    }
+    InstanceRow row;
+    row.name = name;
+    row.width = width;
+
+    flow::DetailedRouteOptions mono;
+    mono.encoding = encode::GetEncoding("ITE-linear-2+muldirect");
+    mono.heuristic = symmetry::Heuristic::kS1;
+    mono.timeout_seconds = timeout;
+    const flow::DetailedRouteResult mono_result =
+        flow::RouteDetailedOnGraph(inst.conflict, width, mono);
+    row.monolithic.timed_out =
+        mono_result.status == sat::SolveResult::kUnknown;
+    row.monolithic.seconds =
+        row.monolithic.timed_out ? timeout : mono_result.TotalSeconds();
+    std::printf("%-12s %6d %12s", name.c_str(), width,
+                bench::TimeCell(row.monolithic.seconds,
+                                row.monolithic.timed_out)
+                    .c_str());
+    std::fflush(stdout);
+
+    for (const int workers : worker_counts) {
+      cube::CubeSolveOptions options;
+      options.pool.num_workers = workers;
+      options.timeout_seconds = timeout;
+      const cube::CubeSolveResult result = cube::SolveColoringWithCubes(
+          inst.conflict, width, encode::GetEncoding("ITE-linear-2+muldirect"),
+          symmetry::Heuristic::kS1, options);
+      Cell cell;
+      cell.timed_out = result.status == sat::SolveResult::kUnknown;
+      cell.seconds = cell.timed_out ? timeout : result.wall_seconds;
+      cell.cubes = result.num_cubes;
+      cell.stolen = result.cubes_stolen;
+      if (!cell.timed_out && result.status != sat::SolveResult::kUnsat) {
+        std::printf("\nbench: cube run on %s at W=%d was not UNSAT!\n",
+                    name.c_str(), width);
+        return 1;
+      }
+      row.by_workers.push_back(cell);
+      std::printf(" %9s",
+                  bench::TimeCell(cell.seconds, cell.timed_out).c_str());
+      std::fflush(stdout);
+    }
+    const Cell& one = row.by_workers.front();
+    const Cell& top = row.by_workers.back();
+    if (top.seconds > 0.0 && !one.timed_out && !top.timed_out) {
+      std::printf(" %8.2fx\n", one.seconds / top.seconds);
+    } else {
+      std::printf(" %9s\n", "n/a");
+    }
+    rows.push_back(std::move(row));
+  }
+
+  if (argc > 1) {
+    std::FILE* out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot open '%s' for writing\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"hardware_concurrency\": %u,\n", cores);
+    std::fprintf(out, "  \"timeout_seconds\": %g,\n  \"workers\": [", timeout);
+    for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+      std::fprintf(out, "%s%d", i ? ", " : "", worker_counts[i]);
+    }
+    std::fprintf(out, "],\n  \"instances\": [");
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const InstanceRow& row = rows[r];
+      std::fprintf(out,
+                   "%s\n    {\"name\": \"%s\", \"width\": %d, "
+                   "\"monolithic_seconds\": %.6f, \"monolithic_timeout\": %s, "
+                   "\"cubes\": %zu, \"cube_seconds\": [",
+                   r ? "," : "", row.name.c_str(), row.width,
+                   row.monolithic.seconds,
+                   row.monolithic.timed_out ? "true" : "false",
+                   row.by_workers.front().cubes);
+      for (std::size_t i = 0; i < row.by_workers.size(); ++i) {
+        std::fprintf(out, "%s%.6f", i ? ", " : "",
+                     row.by_workers[i].seconds);
+      }
+      std::fprintf(out, "], \"cube_timeouts\": [");
+      for (std::size_t i = 0; i < row.by_workers.size(); ++i) {
+        std::fprintf(out, "%s%s", i ? ", " : "",
+                     row.by_workers[i].timed_out ? "true" : "false");
+      }
+      std::fprintf(out, "], \"cubes_stolen\": [");
+      for (std::size_t i = 0; i < row.by_workers.size(); ++i) {
+        std::fprintf(out, "%s%zu", i ? ", " : "", row.by_workers[i].stolen);
+      }
+      std::fprintf(out, "]}");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", argv[1]);
+  }
+  return 0;
+}

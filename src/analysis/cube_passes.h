@@ -1,0 +1,24 @@
+// Cube-and-conquer lint pass: cube search must agree with monolithic CDCL.
+//
+// The cube layer (src/cube) splits an instance into assumption cubes and
+// claims exact verdict aggregation: any-cube-SAT is SAT, all-cubes-refuted
+// is UNSAT. This pass cross-checks that claim on the artifact under lint by
+// solving a small width window twice — once monolithically, once through a
+// single-worker deterministic cube pool — and reporting any verdict
+// disagreement. It also runs the cube side twice and demands identical
+// verdicts and models: deterministic mode promises bit-reproducible
+// single-worker runs, and a drift here means the cube generator or the
+// pool's verdict aggregation picked up hidden nondeterminism.
+#pragma once
+
+#include "analysis/runner.h"
+
+namespace satfr::analysis {
+
+/// Registers the cube pass:
+///   cube-determinism (error) single-worker deterministic cube verdicts
+///                            match monolithic CDCL and are run-to-run
+///                            reproducible
+void AddCubePasses(AnalysisRunner& runner);
+
+}  // namespace satfr::analysis

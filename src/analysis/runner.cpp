@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/cnf_passes.h"
+#include "analysis/cube_passes.h"
 #include "analysis/encoding_passes.h"
 #include "analysis/graph_passes.h"
 #include "analysis/solver_passes.h"
@@ -94,6 +95,7 @@ AnalysisRunner MakeDefaultRunner() {
   AddEncodingPasses(runner);
   AddGraphPasses(runner);
   AddSolverPasses(runner);
+  AddCubePasses(runner);
   return runner;
 }
 

@@ -1,0 +1,302 @@
+#include "cube/cube_solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "cube/work_queue.h"
+#include "encode/csp_to_cnf.h"
+#include "sat/clause_sink.h"
+
+namespace satfr::cube {
+
+CubeWorkerPool::CubeWorkerPool(
+    const sat::SolverOptions& solver_options, const CubePoolOptions& options,
+    std::uint64_t numbering_key,
+    const std::function<bool(int, sat::Solver&)>& setup)
+    : options_(options) {
+  const int n = std::max(1, options.num_workers);
+  const bool share =
+      options.share_clauses && !options.deterministic && n > 1;
+  if (share) {
+    exchange_.reset(new sat::ClauseExchange(options.exchange_capacity));
+  }
+  workers_.resize(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    sat::SolverOptions per_worker = solver_options;
+    per_worker.share_max_lbd = options.share_max_lbd;
+    if (w > 0) {
+      // Decorrelate the random decisions/polarities so workers that steal
+      // into the same region don't retrace each other's searches.
+      per_worker.seed = solver_options.seed +
+                        0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(w);
+    }
+    Worker& worker = workers_[static_cast<std::size_t>(w)];
+    worker.solver.reset(new sat::Solver(per_worker));
+    if (!setup(w, *worker.solver)) ok_ = false;
+    if (share) {
+      worker.participant =
+          exchange_->Register(numbering_key, numbering_key);
+      worker.solver->SetClauseExchange(exchange_.get(), worker.participant);
+    }
+  }
+}
+
+CubeWorkerPool::~CubeWorkerPool() = default;
+
+CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
+    const std::vector<std::vector<sat::Lit>>& cubes,
+    const std::vector<sat::Lit>& base_assumptions, Deadline deadline,
+    const std::atomic<bool>* external_stop) {
+  BatchResult out;
+  if (!ok_) {
+    out.status = sat::SolveResult::kUnsat;
+    out.refuted = true;
+    return out;
+  }
+  if (cubes.empty()) {
+    // The generator pruned every leaf; each pruned leaf is refuted by
+    // emitted clauses, so the empty cover already proves UNSAT.
+    out.status = sat::SolveResult::kUnsat;
+    return out;
+  }
+
+  const int n = num_workers();
+  const std::size_t per_worker =
+      (cubes.size() + static_cast<std::size_t>(n) - 1) /
+      static_cast<std::size_t>(n);
+
+  // Round-robin seeding: cube i goes to deque i % n, pushed largest-index
+  // first so the owner's LIFO pops walk its share in ascending generator
+  // order (the deterministic-mode order guarantee).
+  std::vector<std::unique_ptr<WorkStealingDeque>> deques;
+  deques.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    deques.push_back(
+        std::make_unique<WorkStealingDeque>(std::max<std::size_t>(
+            per_worker, 1)));
+  }
+  for (std::int64_t i = static_cast<std::int64_t>(cubes.size()) - 1; i >= 0;
+       --i) {
+    deques[static_cast<std::size_t>(i) % static_cast<std::size_t>(n)]
+        ->PushBottom(i);
+  }
+
+  std::atomic<bool> pool_stop{false};
+  std::atomic<bool> found_sat{false};
+  std::atomic<bool> refuted{false};
+  std::atomic<std::size_t> resolved{0};
+  std::atomic<std::size_t> stolen{0};
+  std::mutex winner_mutex;
+
+  const auto take_work = [&](int w, std::int64_t* idx) {
+    if (deques[static_cast<std::size_t>(w)]->PopBottom(idx)) return true;
+    if (options_.deterministic) return false;
+    // Steal phase: scan the other deques until one yields work or all are
+    // empty. A failed Steal can mean "lost a race", so emptiness of every
+    // deque — not a single failed attempt — is the termination condition
+    // (the cube supply is fixed; an empty deque never refills).
+    while (!pool_stop.load(std::memory_order_relaxed)) {
+      bool any_nonempty = false;
+      for (int k = 1; k < n; ++k) {
+        WorkStealingDeque& victim =
+            *deques[static_cast<std::size_t>((w + k) % n)];
+        if (victim.Steal(idx)) {
+          stolen.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        if (!victim.Empty()) any_nonempty = true;
+      }
+      if (!any_nonempty) return false;
+      std::this_thread::yield();
+    }
+    return false;
+  };
+
+  const auto run_worker = [&](int w) {
+    sat::Solver& solver = *workers_[static_cast<std::size_t>(w)].solver;
+    std::vector<sat::Lit> assumptions;
+    std::int64_t idx = 0;
+    while (!pool_stop.load(std::memory_order_relaxed)) {
+      if (external_stop != nullptr &&
+          external_stop->load(std::memory_order_relaxed)) {
+        pool_stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (!take_work(w, &idx)) break;
+      assumptions = base_assumptions;
+      const std::vector<sat::Lit>& cube =
+          cubes[static_cast<std::size_t>(idx)];
+      assumptions.insert(assumptions.end(), cube.begin(), cube.end());
+      const sat::SolveResult status =
+          solver.SolveWithAssumptions(assumptions, deadline, &pool_stop);
+      if (status == sat::SolveResult::kSat) {
+        std::lock_guard<std::mutex> lock(winner_mutex);
+        if (!found_sat.load(std::memory_order_relaxed)) {
+          found_sat.store(true, std::memory_order_relaxed);
+          out.winning_cube = static_cast<int>(idx);
+          out.model = solver.model();
+        }
+        pool_stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (status == sat::SolveResult::kUnsat) {
+        if (!solver.okay()) {
+          // Level-0 refutation: assumption-independent, the formula itself
+          // is UNSAT. No need to look at the remaining cubes.
+          refuted.store(true, std::memory_order_relaxed);
+          pool_stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+        resolved.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      break;  // kUnknown: deadline hit or pool_stop raised mid-search
+    }
+  };
+
+  // Workers poll pool_stop from inside SolveWithAssumptions, but only check
+  // external_stop between cubes — a worker deep in a hard cube would never
+  // see an external cancellation. The monitor bridges the two, so stopping
+  // the pool (portfolio loss, CLI ^C path) interrupts mid-cube search.
+  std::atomic<bool> batch_done{false};
+  std::thread monitor;
+  if (external_stop != nullptr) {
+    monitor = std::thread([&] {
+      while (!batch_done.load(std::memory_order_relaxed)) {
+        if (external_stop->load(std::memory_order_relaxed)) {
+          pool_stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  if (n == 1) {
+    run_worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int w = 0; w < n; ++w) threads.emplace_back(run_worker, w);
+    for (std::thread& t : threads) t.join();
+  }
+  batch_done.store(true, std::memory_order_relaxed);
+  if (monitor.joinable()) monitor.join();
+
+  out.cubes_resolved = resolved.load(std::memory_order_relaxed);
+  out.cubes_stolen = stolen.load(std::memory_order_relaxed);
+  if (found_sat.load(std::memory_order_relaxed)) {
+    out.status = sat::SolveResult::kSat;
+  } else if (refuted.load(std::memory_order_relaxed)) {
+    out.status = sat::SolveResult::kUnsat;
+    out.refuted = true;
+    ok_ = false;
+  } else if (out.cubes_resolved == cubes.size()) {
+    out.status = sat::SolveResult::kUnsat;
+  }
+  return out;
+}
+
+sat::SolverStats CubeWorkerPool::MergedStats() const {
+  sat::SolverStats merged;
+  for (const Worker& w : workers_) {
+    const sat::SolverStats& s = w.solver->stats();
+    merged.conflicts += s.conflicts;
+    merged.decisions += s.decisions;
+    merged.propagations += s.propagations;
+    merged.binary_propagations += s.binary_propagations;
+    merged.restarts += s.restarts;
+    merged.learned += s.learned;
+    merged.removed += s.removed;
+    merged.minimized_literals += s.minimized_literals;
+    merged.watch_inspections += s.watch_inspections;
+    merged.blocker_hits += s.blocker_hits;
+    merged.gc_runs += s.gc_runs;
+    merged.tier_promotions += s.tier_promotions;
+    merged.tier_demotions += s.tier_demotions;
+    merged.clauses_vivified += s.clauses_vivified;
+    merged.lits_removed_vivify += s.lits_removed_vivify;
+    merged.clauses_strengthened += s.clauses_strengthened;
+    merged.exported_clauses += s.exported_clauses;
+    merged.imported_clauses += s.imported_clauses;
+    merged.import_duplicates += s.import_duplicates;
+    // Sum of per-worker solve time: aggregate CPU seconds, not wall clock.
+    merged.solve_seconds += s.solve_seconds;
+  }
+  return merged;
+}
+
+sat::ClauseExchange::Totals CubeWorkerPool::exchange_totals() const {
+  return exchange_ ? exchange_->totals() : sat::ClauseExchange::Totals{};
+}
+
+CubeSolveResult SolveColoringWithCubes(const graph::Graph& g, int num_colors,
+                                       const encode::EncodingSpec& encoding,
+                                       symmetry::Heuristic heuristic,
+                                       const CubeSolveOptions& options) {
+  Stopwatch stopwatch;
+  CubeSolveResult result;
+
+  const auto sequence =
+      symmetry::SymmetrySequence(g, num_colors, heuristic);
+  const encode::DomainEncoding domain =
+      encode::EncodeDomain(encoding, num_colors);
+  const std::uint64_t key =
+      encode::NumberingKey(domain, num_colors, sequence);
+
+  // Every worker loads the identical formula; worker 0's layout serves all
+  // of them for decoding (same encoding + sequence => same numbering).
+  encode::ColoringLayout layout;
+  const auto setup = [&](int w, sat::Solver& solver) {
+    sat::SolverSink sink(solver);
+    encode::ColoringLayout built =
+        encode::EncodeColoringToSink(g, num_colors, encoding, sequence, sink);
+    if (w == 0) layout = std::move(built);
+    return sink.Finish();
+  };
+  CubeWorkerPool pool(options.solver, options.pool, key, setup);
+
+  const CubeSet cube_set =
+      GenerateCubes(g, domain, num_colors, sequence, options.gen);
+  result.num_cubes = cube_set.cubes.size();
+  result.pruned_conflict = cube_set.pruned_conflict;
+  result.pruned_symmetry = cube_set.pruned_symmetry;
+
+  const Deadline deadline = options.timeout_seconds > 0.0
+                                ? Deadline::After(options.timeout_seconds)
+                                : Deadline::Infinite();
+  CubeWorkerPool::BatchResult batch =
+      pool.SolveBatch(cube_set.cubes, {}, deadline, options.stop);
+
+  result.status = batch.status;
+  result.winning_cube = batch.winning_cube;
+  result.cubes_resolved = batch.cubes_resolved;
+  result.cubes_stolen = batch.cubes_stolen;
+  if (batch.status == sat::SolveResult::kSat) {
+    std::vector<int> colors = encode::DecodeColoring(layout, batch.model);
+    bool valid = static_cast<int>(colors.size()) == g.num_vertices() &&
+                 g.IsProperColoring(colors);
+    for (const int c : colors) {
+      if (c < 0 || c >= num_colors) valid = false;
+    }
+    if (valid) {
+      result.colors = std::move(colors);
+      result.model_validated = true;
+    } else {
+      // A model that fails decoding/validation means a solver or encoding
+      // bug: report kUnknown with an error instead of a false SAT verdict.
+      result.status = sat::SolveResult::kUnknown;
+      result.winning_cube = -1;
+      result.error =
+          "cube SAT model failed validation (improper coloring or color "
+          "out of range)";
+    }
+  }
+  result.solver_stats = pool.MergedStats();
+  result.exchange_totals = pool.exchange_totals();
+  result.wall_seconds = stopwatch.Seconds();
+  return result;
+}
+
+}  // namespace satfr::cube

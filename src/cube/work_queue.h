@@ -1,0 +1,120 @@
+// Chase-Lev work-stealing deque over cube indices.
+//
+// Each cube worker owns one deque: the owner pushes and pops at the bottom
+// (LIFO, so it walks its own cubes in the order they were enqueued when the
+// coordinator pushes them in reverse), and idle workers steal from the top
+// (FIFO, so a thief takes the cube its victim would have reached last —
+// minimal interference with the victim's locality). The implementation is
+// the C11-memory-model formulation of Lê, Pop, Cohen & Nardelli,
+// "Correct and Efficient Work-Stealing for Weakly Ordered Memory Models"
+// (PPoPP 2013), restricted to a fixed power-of-two capacity: the total cube
+// count is known before any worker starts, so the dynamic buffer growth of
+// the general algorithm is dead weight here.
+//
+// Thread-safety contract: PushBottom/PopBottom may only be called by the
+// owning worker; Steal may be called by any thread. All operations are
+// lock-free (Steal is obstruction-free in the standard Chase-Lev sense: a
+// CAS failure means another thief or the owner got the element).
+#ifndef SATFR_CUBE_WORK_QUEUE_H_
+#define SATFR_CUBE_WORK_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace satfr::cube {
+
+class WorkStealingDeque {
+ public:
+  /// Capacity is rounded up to a power of two. The caller must never hold
+  /// more than `capacity` elements in the deque at once (checked in debug
+  /// builds by the coordinator, which sizes the deque to its cube share).
+  explicit WorkStealingDeque(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    buffer_.reset(new std::atomic<std::int64_t>[cap]);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only. Enqueues `item` at the bottom.
+  void PushBottom(std::int64_t item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        item, std::memory_order_relaxed);
+    // Release so a thief that observes the new bottom also observes the
+    // element written above.
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Dequeues the most recently pushed element into *item;
+  /// false when the deque is empty. On the last element the owner races
+  /// thieves through a CAS on top, exactly one party wins.
+  bool PopBottom(std::int64_t* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    // The fence orders the bottom decrement against the top load: either a
+    // concurrent thief sees the decrement (and finds the deque empty), or
+    // we see its top increment (and race it with the CAS below).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Already empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    *item = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: contend with thieves for it.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Any thread. Takes the oldest element into *item; false when the deque
+  /// is empty or the element was lost to a concurrent pop/steal (callers
+  /// treat both as "try elsewhere").
+  bool Steal(std::int64_t* item) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    // Order the top load before the bottom load (mirrors the owner's fence
+    // in PopBottom); acquire on bottom pairs with the owner's release fence
+    // in PushBottom so the element read below is the one pushed.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    const std::int64_t candidate =
+        buffer_[static_cast<std::size_t>(t) & mask_].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;  // lost the race; element taken by owner or other thief
+    }
+    *item = candidate;
+    return true;
+  }
+
+  /// Approximate (racy) emptiness — a scheduling hint, never a correctness
+  /// signal.
+  bool Empty() const {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::unique_ptr<std::atomic<std::int64_t>[]> buffer_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace satfr::cube
+
+#endif  // SATFR_CUBE_WORK_QUEUE_H_

@@ -1,48 +1,58 @@
 #include "flow/incremental_min_width.h"
 
 #include <algorithm>
-#include <cassert>
+#include <utility>
 
 #include "common/stopwatch.h"
+#include "cube/cube_solver.h"
 #include "encode/csp_to_cnf.h"
 #include "graph/coloring_bounds.h"
 #include "sat/clause_sink.h"
 
 namespace satfr::flow {
 
-IncrementalMinWidthResult FindMinimumWidthIncremental(
-    const graph::Graph& conflict_graph, int lower_bound,
-    const IncrementalMinWidthOptions& options) {
-  Stopwatch stopwatch;
-  IncrementalMinWidthResult result;
+namespace {
 
+// Shared width-independent precomputation of both sweep modes.
+struct SweepSetup {
+  int k_max = 1;
+  int start = 1;
+  std::vector<graph::VertexId> sequence;
+};
+
+SweepSetup PrepareSweep(const graph::Graph& conflict_graph, int lower_bound,
+                        const IncrementalMinWidthOptions& options) {
+  SweepSetup setup;
   // K_max: a width DSATUR certifies as routable; the search cannot pass it.
-  const int k_max = std::max(
+  setup.k_max = std::max(
       1, graph::NumColorsUsed(graph::DsaturColoring(conflict_graph)));
-  const int start = std::max(1, std::min(lower_bound, k_max));
+  setup.start = std::max(1, std::min(lower_bound, setup.k_max));
+  setup.sequence = symmetry::SymmetrySequence(conflict_graph, setup.k_max,
+                                              options.heuristic);
+  return setup;
+}
 
-  const auto sequence = symmetry::SymmetrySequence(conflict_graph, k_max,
-                                                   options.heuristic);
-
-  // Stream the base encoding and the guard ladder straight into the solver —
-  // the incremental flow never needs a materialized Cnf.
-  sat::Solver solver(options.solver);
-  sat::SolverSink sink(solver);
+// Streams the base encoding plus the guard ladder into `sink`: g_W (for W
+// in [start, k_max)) forbids color W everywhere and implies g_{W+1}. Guard
+// variable ids are deterministic — layout.num_vars + (W - start) — so every
+// cube worker allocates the identical numbering.
+encode::ColoringLayout EmitGuardedFormula(
+    const graph::Graph& conflict_graph, const SweepSetup& setup,
+    const IncrementalMinWidthOptions& options, sat::ClauseSink& sink,
+    std::vector<sat::Var>* guard) {
   const encode::ColoringLayout layout = encode::EncodeColoringToSink(
-      conflict_graph, k_max, options.encoding, sequence, sink);
-
-  // Guard ladder: g_W (for W in [start, k_max)) forbids color W everywhere
-  // and implies g_{W+1}.
-  std::vector<sat::Var> guard(static_cast<std::size_t>(k_max), -1);
-  for (int w = start; w < k_max; ++w) {
-    guard[static_cast<std::size_t>(w)] = sink.EmitVar();
+      conflict_graph, setup.k_max, options.encoding, setup.sequence, sink);
+  guard->assign(static_cast<std::size_t>(setup.k_max), -1);
+  for (int w = setup.start; w < setup.k_max; ++w) {
+    (*guard)[static_cast<std::size_t>(w)] = sink.EmitVar();
   }
   sat::Clause scratch;
-  for (int w = start; w < k_max; ++w) {
-    const sat::Var g = guard[static_cast<std::size_t>(w)];
-    if (w + 1 < k_max) {
-      sink.EmitBinary(sat::Lit::Neg(g),
-                      sat::Lit::Pos(guard[static_cast<std::size_t>(w + 1)]));
+  for (int w = setup.start; w < setup.k_max; ++w) {
+    const sat::Var g = (*guard)[static_cast<std::size_t>(w)];
+    if (w + 1 < setup.k_max) {
+      sink.EmitBinary(
+          sat::Lit::Neg(g),
+          sat::Lit::Pos((*guard)[static_cast<std::size_t>(w + 1)]));
     }
     for (std::size_t v = 0; v < layout.vertex_offset.size(); ++v) {
       scratch = encode::NegateCube(
@@ -52,21 +62,65 @@ IncrementalMinWidthResult FindMinimumWidthIncremental(
       sink.EmitClause(scratch);
     }
   }
+  return layout;
+}
 
+// Decodes + validates a model at width `w`. These are real checks, not
+// asserts: a decoded model that is not a proper in-bounds coloring means a
+// solver or encoding bug, and Release builds must report it instead of
+// returning garbage with a clean status.
+void AcceptModel(const graph::Graph& conflict_graph,
+                 const encode::ColoringLayout& layout,
+                 const std::vector<bool>& model, int w,
+                 IncrementalMinWidthResult* result) {
+  std::vector<int> tracks = encode::DecodeColoring(layout, model);
+  bool valid =
+      static_cast<int>(tracks.size()) == conflict_graph.num_vertices() &&
+      conflict_graph.IsProperColoring(tracks);
+  for (const int track : tracks) {
+    if (track < 0 || track >= w) valid = false;
+  }
+  if (!valid) {
+    result->min_width = -1;
+    result->proven_optimal = false;
+    result->error =
+        "decoded model at width " + std::to_string(w) +
+        " is not a proper coloring within the width bound";
+    return;
+  }
+  result->min_width = w;
+  result->proven_optimal = true;  // every smaller width was refuted
+  result->tracks = std::move(tracks);
+  result->model_validated = true;
+}
+
+constexpr const char kRefutedBelowDsatur[] =
+    "formula refuted outright below the DSATUR-certified width "
+    "(guarded UNSAT must stay retractable)";
+
+IncrementalMinWidthResult SweepMonolithic(
+    const graph::Graph& conflict_graph, const SweepSetup& setup,
+    const IncrementalMinWidthOptions& options, const Deadline& deadline) {
+  IncrementalMinWidthResult result;
+
+  // Stream the base encoding and the guard ladder straight into the solver —
+  // the incremental flow never needs a materialized Cnf.
+  sat::Solver solver(options.solver);
+  sat::SolverSink sink(solver);
+  std::vector<sat::Var> guard;
+  const encode::ColoringLayout layout =
+      EmitGuardedFormula(conflict_graph, setup, options, sink, &guard);
   if (!sink.Finish()) {
     // Encoding contradictory without any guard: no width up to k_max works,
     // which cannot happen (k_max is DSATUR-certified). Defensive bail-out.
-    result.total_seconds = stopwatch.Seconds();
+    result.error = kRefutedBelowDsatur;
     return result;
   }
 
-  const Deadline deadline = options.timeout_seconds > 0.0
-                                ? Deadline::After(options.timeout_seconds)
-                                : Deadline::Infinite();
-  for (int w = start; w <= k_max; ++w) {
+  for (int w = setup.start; w <= setup.k_max; ++w) {
     ++result.widths_tested;
     std::vector<sat::Lit> assumptions;
-    if (w < k_max) {
+    if (w < setup.k_max) {
       assumptions.push_back(
           sat::Lit::Pos(guard[static_cast<std::size_t>(w)]));
     }
@@ -74,19 +128,104 @@ IncrementalMinWidthResult FindMinimumWidthIncremental(
         solver.SolveWithAssumptions(assumptions, deadline);
     if (status == sat::SolveResult::kUnknown) break;  // timeout
     if (status == sat::SolveResult::kSat) {
-      result.min_width = w;
-      result.proven_optimal = true;  // every smaller width was refuted
-      result.tracks = encode::DecodeColoring(layout, solver.model());
-      assert(conflict_graph.IsProperColoring(result.tracks));
-      for (const int track : result.tracks) {
-        assert(track < w);
-        (void)track;
-      }
+      AcceptModel(conflict_graph, layout, solver.model(), w, &result);
       break;
     }
-    assert(solver.okay() && "guarded UNSAT must not refute the formula");
+    if (!solver.okay()) {
+      result.error = kRefutedBelowDsatur;
+      break;
+    }
   }
   result.solver_stats = solver.stats();
+  return result;
+}
+
+IncrementalMinWidthResult SweepWithCubes(
+    const graph::Graph& conflict_graph, const SweepSetup& setup,
+    const IncrementalMinWidthOptions& options, const Deadline& deadline) {
+  IncrementalMinWidthResult result;
+
+  const encode::DomainEncoding domain =
+      encode::EncodeDomain(options.encoding, setup.k_max);
+  const std::uint64_t key =
+      encode::NumberingKey(domain, setup.k_max, setup.sequence);
+
+  // Every worker streams the identical guarded formula into its resident
+  // solver; worker 0's layout and guard ids serve all of them (emission is
+  // deterministic, so the numberings coincide — which is also what makes
+  // full-key clause sharing between the workers sound).
+  encode::ColoringLayout layout;
+  std::vector<sat::Var> guard;
+  const auto loader = [&](int worker, sat::Solver& solver) {
+    sat::SolverSink sink(solver);
+    std::vector<sat::Var> worker_guard;
+    encode::ColoringLayout built = EmitGuardedFormula(
+        conflict_graph, setup, options, sink, &worker_guard);
+    if (worker == 0) {
+      layout = std::move(built);
+      guard = std::move(worker_guard);
+    }
+    return sink.Finish();
+  };
+
+  cube::CubePoolOptions pool_options;
+  pool_options.num_workers = options.cube_workers;
+  pool_options.deterministic = options.cube_deterministic;
+  pool_options.share_max_lbd = options.solver.share_max_lbd;
+  cube::CubeWorkerPool pool(options.solver, pool_options, key, loader);
+  if (!pool.okay()) {
+    result.error = kRefutedBelowDsatur;
+    result.solver_stats = pool.MergedStats();
+    return result;
+  }
+
+  cube::CubeGenOptions gen;
+  gen.target_cubes = options.cube_target_cubes;
+  for (int w = setup.start; w <= setup.k_max; ++w) {
+    ++result.widths_tested;
+    // Branch colors are clipped to W: the guard ladder forbids colors >= W
+    // everywhere, so wider branches would be dead on arrival.
+    const cube::CubeSet cube_set = cube::GenerateCubes(
+        conflict_graph, domain, w, setup.sequence, gen);
+    std::vector<sat::Lit> base;
+    if (w < setup.k_max) {
+      base.push_back(sat::Lit::Pos(guard[static_cast<std::size_t>(w)]));
+    }
+    const cube::CubeWorkerPool::BatchResult batch =
+        pool.SolveBatch(cube_set.cubes, base, deadline);
+    result.cubes_solved += batch.cubes_resolved;
+    result.cubes_stolen += batch.cubes_stolen;
+    if (batch.status == sat::SolveResult::kUnknown) break;  // timeout
+    if (batch.status == sat::SolveResult::kSat) {
+      AcceptModel(conflict_graph, layout, batch.model, w, &result);
+      break;
+    }
+    if (batch.refuted) {
+      // A worker's okay() dropped: the whole guarded formula is UNSAT,
+      // impossible below the DSATUR bound.
+      result.error = kRefutedBelowDsatur;
+      break;
+    }
+  }
+  result.solver_stats = pool.MergedStats();
+  result.exchange_totals = pool.exchange_totals();
+  return result;
+}
+
+}  // namespace
+
+IncrementalMinWidthResult FindMinimumWidthIncremental(
+    const graph::Graph& conflict_graph, int lower_bound,
+    const IncrementalMinWidthOptions& options) {
+  Stopwatch stopwatch;
+  const SweepSetup setup = PrepareSweep(conflict_graph, lower_bound, options);
+  const Deadline deadline = options.timeout_seconds > 0.0
+                                ? Deadline::After(options.timeout_seconds)
+                                : Deadline::Infinite();
+  IncrementalMinWidthResult result =
+      options.cube_workers > 0
+          ? SweepWithCubes(conflict_graph, setup, options, deadline)
+          : SweepMonolithic(conflict_graph, setup, options, deadline);
   result.total_seconds = stopwatch.Seconds();
   return result;
 }

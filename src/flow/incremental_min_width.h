@@ -19,8 +19,11 @@
 // classes the smallest indices, so a W-coloring renames into colors < W).
 #pragma once
 
+#include <string>
+
 #include "encode/registry.h"
 #include "graph/graph.h"
+#include "sat/clause_exchange.h"
 #include "sat/solver.h"
 #include "symmetry/symmetry.h"
 
@@ -32,19 +35,45 @@ struct IncrementalMinWidthOptions {
   sat::SolverOptions solver = sat::SolverOptions::SiegeLike();
   /// Wall-clock budget for the whole search; <= 0 means unlimited.
   double timeout_seconds = 0.0;
+  /// Cube-and-conquer: when > 0, the guard-ladder formula is loaded into
+  /// this many RESIDENT worker solvers (src/cube) and every width's query
+  /// is split into cubes over the symmetry-prefix / high-degree vertices.
+  /// Each worker keeps its solver across cubes AND widths, so the
+  /// clause-reuse benefit of the incremental sweep survives the split.
+  int cube_workers = 0;
+  /// Cube-count target per width (see cube::CubeGenOptions).
+  int cube_target_cubes = 256;
+  /// Pin cube order and disable stealing/sharing (reproducible runs).
+  bool cube_deterministic = false;
 };
 
 struct IncrementalMinWidthResult {
-  /// Smallest routable width; -1 on timeout.
+  /// Smallest routable width; -1 on timeout or internal error (see
+  /// `error`).
   int min_width = -1;
   /// True when every width in [lower_bound, min_width) was refuted.
   bool proven_optimal = false;
   /// A valid track assignment at min_width.
   std::vector<int> tracks;
-  /// Number of SAT queries issued (one per width tested).
+  /// True when `tracks` was checked to be a proper coloring within the
+  /// width bound. Always true when min_width >= 0 — validation failure
+  /// clears min_width and reports through `error` instead (the checks are
+  /// real code, not asserts, so they hold in Release builds too).
+  bool model_validated = false;
+  /// Non-empty when an internal validation failed: the decoded model was
+  /// not a proper in-bounds coloring, or a guarded UNSAT refuted the whole
+  /// formula below the DSATUR-certified width. Either means a solver or
+  /// encoding bug, reported instead of silently returning garbage.
+  std::string error;
+  /// Number of SAT queries issued (one per width tested; in cube mode a
+  /// width counts once regardless of its cube count).
   int widths_tested = 0;
-  /// Aggregate statistics of the single underlying solver.
+  /// Aggregate statistics of the underlying solver(s).
   sat::SolverStats solver_stats;
+  // Cube-mode counters (zero in monolithic mode).
+  std::size_t cubes_solved = 0;
+  std::size_t cubes_stolen = 0;
+  sat::ClauseExchange::Totals exchange_totals;
   double total_seconds = 0.0;
 };
 

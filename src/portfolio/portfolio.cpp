@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/stopwatch.h"
+#include "cube/cube_solver.h"
 #include "encode/csp_to_cnf.h"
 #include "encode/hierarchical.h"
 #include "sat/clause_sink.h"
@@ -13,8 +14,14 @@
 namespace satfr::portfolio {
 
 std::string Strategy::DisplayName() const {
-  return encoding_name + "/" + symmetry::ToString(heuristic) +
-         (use_walksat ? " (walksat)" : "");
+  std::string name = encoding_name;
+  name += "/";
+  name += symmetry::ToString(heuristic);
+  if (use_walksat) name += " (walksat)";
+  if (cube_workers > 0) {
+    name += " (cube x" + std::to_string(cube_workers) + ")";
+  }
+  return name;
 }
 
 namespace {
@@ -54,6 +61,33 @@ flow::DetailedRouteResult RunWalkSatStrategy(
   if (result.status == sat::SolveResult::kSat) {
     result.tracks = encode::DecodeColoring(layout, walksat.model());
   }
+  return result;
+}
+
+// Runs one cube-and-conquer strategy (exact SAT/UNSAT via the cube pool).
+flow::DetailedRouteResult RunCubeStrategy(const graph::Graph& conflict_graph,
+                                          int num_tracks,
+                                          const Strategy& strategy,
+                                          double timeout_seconds,
+                                          const std::atomic<bool>* stop) {
+  cube::CubeSolveOptions options;
+  options.pool.num_workers = strategy.cube_workers;
+  options.solver = strategy.solver;
+  options.timeout_seconds = timeout_seconds;
+  options.stop = stop;
+  const cube::CubeSolveResult cube_result = cube::SolveColoringWithCubes(
+      conflict_graph, num_tracks,
+      encode::GetEncoding(strategy.encoding_name), strategy.heuristic,
+      options);
+
+  flow::DetailedRouteResult result;
+  result.status = cube_result.status;
+  result.tracks = cube_result.colors;
+  result.conflict_vertices = conflict_graph.num_vertices();
+  result.conflict_edges = conflict_graph.num_edges();
+  result.solve_seconds = cube_result.wall_seconds;
+  result.solver_stats = cube_result.solver_stats;
+  result.streamed_encode = true;
   return result;
 }
 
@@ -128,7 +162,11 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
   std::vector<int> participants(strategies.size(), -1);
   if (options.share_clauses) {
     for (std::size_t s = 0; s < strategies.size(); ++s) {
-      if (strategies[s].use_walksat) continue;
+      // WalkSAT members learn nothing; cube members run their own internal
+      // exchange (see Strategy::cube_workers).
+      if (strategies[s].use_walksat || strategies[s].cube_workers > 0) {
+        continue;
+      }
       const auto sequence = symmetry::SymmetrySequence(
           conflict_graph, num_tracks, strategies[s].heuristic);
       const encode::DomainEncoding domain = encode::EncodeDomain(
@@ -153,6 +191,9 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
       if (strategies[s].use_walksat) {
         result = RunWalkSatStrategy(conflict_graph, num_tracks,
                                     strategies[s], timeout_seconds, &stop);
+      } else if (strategies[s].cube_workers > 0) {
+        result = RunCubeStrategy(conflict_graph, num_tracks, strategies[s],
+                                 timeout_seconds, &stop);
       } else {
         flow::DetailedRouteOptions route_options;
         route_options.encoding =

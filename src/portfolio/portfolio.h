@@ -23,6 +23,13 @@ struct Strategy {
   /// can win SAT races but never returns UNSAT, so a portfolio aimed at
   /// unroutability proofs must also contain a CDCL member.
   bool use_walksat = false;
+  /// Run cube-and-conquer (src/cube) with this many workers instead of a
+  /// single CDCL search. Complete (exact SAT and UNSAT verdicts). A cube
+  /// member shares clauses internally between its own workers but does not
+  /// join the portfolio-level exchange: an exchange participant is one
+  /// solver with one read cursor, and a pool is many solvers — the pool
+  /// runs its own exchange instead.
+  int cube_workers = 0;
 
   /// "encoding/heuristic" label for tables.
   std::string DisplayName() const;

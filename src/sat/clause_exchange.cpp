@@ -1,13 +1,58 @@
 #include "sat/clause_exchange.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace satfr::sat {
 
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// meta word layout: size(8) | lbd(16) | source(16). kMaxSharedLits fits in
+// 8 bits and participant ids in 16 by construction.
+std::uint64_t PackMeta(std::size_t size, std::uint32_t lbd, int source) {
+  const std::uint64_t clamped_lbd = std::min<std::uint32_t>(lbd, 0xffffu);
+  return static_cast<std::uint64_t>(size) | (clamped_lbd << 8) |
+         (static_cast<std::uint64_t>(source) << 24);
+}
+
+}  // namespace
+
+ClauseExchange::ClauseExchange(std::size_t capacity)
+    : capacity_(RoundUpPow2(std::max<std::size_t>(capacity, 1))),
+      slot_mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]),
+      dedup_mask_(2 * capacity_ - 1),
+      dedup_hash_(new std::atomic<std::uint64_t>[2 * capacity_]),
+      dedup_ticket_(new std::atomic<std::uint64_t>[2 * capacity_]) {
+  for (std::size_t i = 0; i < 2 * capacity_; ++i) {
+    dedup_hash_[i].store(0, std::memory_order_relaxed);
+    dedup_ticket_[i].store(0, std::memory_order_relaxed);  // 0 = empty
+  }
+}
+
 int ClauseExchange::Register(std::uint64_t full_key, std::uint64_t unit_key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const int id = static_cast<int>(members_.size());
-  members_.push_back(Member{full_key, unit_key, next_seq_});
+  int id = num_members_.load(std::memory_order_relaxed);
+  do {
+    if (id >= kMaxParticipants) return -1;
+  } while (!num_members_.compare_exchange_weak(id, id + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed));
+  Member& m = members_[id];
+  m.full_key = full_key;
+  m.unit_key = unit_key;
+  // Start collecting at the current head: clauses published before a
+  // participant joined are not replayed to it (matching the previous
+  // deque's behavior). Readers of these plain key fields only reach them
+  // through a publish → collect stamp release/acquire pair, which orders
+  // this initialization before any such read.
+  m.cursor.store(next_seq_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
   return id;
 }
 
@@ -26,65 +71,142 @@ std::uint64_t ClauseExchange::HashClause(const Clause& clause) {
 void ClauseExchange::Publish(int participant, const Clause& clause,
                              std::uint32_t lbd) {
   if (clause.empty()) return;
+  if (participant < 0 ||
+      participant >= num_members_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (clause.size() > kMaxSharedLits) {
+    oversize_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   const std::uint64_t hash = HashClause(clause);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (participant < 0 || static_cast<std::size_t>(participant) >= members_.size()) {
-    return;
+  const std::size_t di = static_cast<std::size_t>(hash) & dedup_mask_;
+  {
+    // Approximate duplicate check: drop only if the recorded publish of
+    // this hash is still inside the live ring window. The check and the
+    // later record are not one atomic step, so two racing publishers can
+    // both get through — importers dedup again by literal hash, so a
+    // leaked duplicate costs a slot, never correctness.
+    const std::uint64_t prev_hash =
+        dedup_hash_[di].load(std::memory_order_relaxed);
+    const std::uint64_t prev_ticket1 =
+        dedup_ticket_[di].load(std::memory_order_relaxed);
+    if (prev_hash == hash && prev_ticket1 != 0 &&
+        prev_ticket1 - 1 + capacity_ >
+            next_seq_.load(std::memory_order_relaxed)) {
+      duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
-  if (!seen_hashes_.insert(hash).second) {
-    ++totals_.duplicates_dropped;
-    return;
+
+  const std::uint64_t ticket =
+      next_seq_.fetch_add(1, std::memory_order_relaxed);
+  dedup_hash_[di].store(hash, std::memory_order_relaxed);
+  dedup_ticket_[di].store(ticket + 1, std::memory_order_relaxed);
+
+  Slot& slot = slots_[static_cast<std::size_t>(ticket) & slot_mask_];
+  // Wait for the slot's previous occupant (ticket - capacity) to finish its
+  // store sequence before overwriting. Only reachable when the ring laps a
+  // writer that claimed its ticket a full capacity ago and is still inside
+  // Publish — in practice the spin body never executes.
+  const std::uint64_t prior_stamp =
+      ticket >= capacity_ ? StampComplete(ticket - capacity_) : 0;
+  while (slot.stamp.load(std::memory_order_acquire) != prior_stamp) {
+    std::this_thread::yield();
   }
-  // The dedup set only grows; reset it periodically so a long run cannot
-  // hoard memory. Losing it readmits old clauses, which is harmless —
-  // the importing solver's AddClause absorbs repeats.
-  if (seen_hashes_.size() > capacity_ * 4) {
-    seen_hashes_.clear();
-    seen_hashes_.insert(hash);
+  if (ticket >= capacity_) evicted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Seqlock write: mark in-flight, release-fence so any reader that
+  // observes a payload word below also observes the odd stamp, store the
+  // payload relaxed, then release the even "complete" stamp.
+  slot.stamp.store(StampWriting(ticket), std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.meta.store(PackMeta(clause.size(), lbd, participant),
+                  std::memory_order_relaxed);
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    slot.lits[i].store(static_cast<std::uint32_t>(clause[i].code()),
+                       std::memory_order_relaxed);
   }
-  const Member& m = members_[static_cast<std::size_t>(participant)];
-  if (entries_.size() == capacity_) {
-    entries_.pop_front();
-    ++totals_.evicted;
-  }
-  entries_.push_back(
-      Entry{clause, lbd, participant, m.full_key, m.unit_key, next_seq_++});
-  ++totals_.published;
+  slot.stamp.store(StampComplete(ticket), std::memory_order_release);
+  published_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t ClauseExchange::Collect(int participant,
                                     std::vector<SharedClause>* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (participant < 0 || static_cast<std::size_t>(participant) >= members_.size()) {
+  if (participant < 0 ||
+      participant >= num_members_.load(std::memory_order_relaxed)) {
     return 0;
   }
-  Member& m = members_[static_cast<std::size_t>(participant)];
-  std::size_t appended = 0;
-  if (!entries_.empty() && next_seq_ > m.cursor) {
-    // Sequence numbers are contiguous; the deque's front entry holds the
-    // oldest one still buffered.
-    const std::uint64_t front_seq = entries_.front().seq;
-    std::size_t i = m.cursor > front_seq
-                        ? static_cast<std::size_t>(m.cursor - front_seq)
-                        : 0;
-    for (; i < entries_.size(); ++i) {
-      const Entry& e = entries_[i];
-      if (e.source == participant) continue;
-      const bool full_match = e.full_key == m.full_key;
-      const bool unit_match = e.lits.size() == 1 && e.unit_key == m.unit_key;
-      if (!full_match && !unit_match) continue;
-      out->push_back(SharedClause{e.lits, e.lbd});
-      ++appended;
-    }
+  Member& m = members_[participant];
+  const std::uint64_t head = next_seq_.load(std::memory_order_relaxed);
+  std::uint64_t cursor = m.cursor.load(std::memory_order_relaxed);
+  // Tickets more than a full ring behind the head are guaranteed
+  // overwritten; skip them wholesale instead of probing each stamp.
+  if (head > capacity_ && cursor < head - capacity_) {
+    cursor = head - capacity_;
   }
-  m.cursor = next_seq_;
-  totals_.collected += appended;
+
+  std::size_t appended = 0;
+  std::uint32_t raw[kMaxSharedLits];
+  for (; cursor < head; ++cursor) {
+    Slot& slot = slots_[static_cast<std::size_t>(cursor) & slot_mask_];
+    const std::uint64_t want = StampComplete(cursor);
+    const std::uint64_t stamp = slot.stamp.load(std::memory_order_acquire);
+    if (stamp < want) {
+      // This ticket's publish is still in flight (stamps at a slot only
+      // increase). Park the cursor here; the next Collect retries, and
+      // tickets beyond it stay queued behind it so delivery order is
+      // preserved.
+      break;
+    }
+    if (stamp > want) continue;  // evicted before we got to it
+    // Seqlock read: copy the payload, then re-check the stamp past an
+    // acquire fence. If a lapping writer overwrote the slot mid-copy, the
+    // fence guarantees its odd stamp is visible now and the copy is
+    // discarded as torn.
+    const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    const std::size_t size = meta & 0xff;
+    for (std::size_t i = 0; i < size; ++i) {
+      raw[i] = slot.lits[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.stamp.load(std::memory_order_relaxed) != want) {
+      torn_reads_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    const int source = static_cast<int>((meta >> 24) & 0xffff);
+    if (source == participant) continue;
+    const Member& src = members_[source];
+    const bool full_match = src.full_key == m.full_key;
+    const bool unit_match = size == 1 && src.unit_key == m.unit_key;
+    if (!full_match && !unit_match) continue;
+
+    SharedClause shared;
+    shared.lbd = static_cast<std::uint32_t>((meta >> 8) & 0xffff);
+    shared.lits.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      shared.lits.push_back(Lit::Make(static_cast<Var>(raw[i] >> 1),
+                                      (raw[i] & 1) != 0));
+    }
+    out->push_back(std::move(shared));
+    ++appended;
+  }
+  m.cursor.store(cursor, std::memory_order_relaxed);
+  collected_.fetch_add(appended, std::memory_order_relaxed);
   return appended;
 }
 
 ClauseExchange::Totals ClauseExchange::totals() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return totals_;
+  Totals t;
+  t.published = published_.load(std::memory_order_relaxed);
+  t.duplicates_dropped = duplicates_dropped_.load(std::memory_order_relaxed);
+  t.evicted = evicted_.load(std::memory_order_relaxed);
+  t.collected = collected_.load(std::memory_order_relaxed);
+  t.oversize_dropped = oversize_dropped_.load(std::memory_order_relaxed);
+  t.torn_reads = torn_reads_.load(std::memory_order_relaxed);
+  return t;
 }
 
 }  // namespace satfr::sat

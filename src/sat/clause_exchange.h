@@ -1,11 +1,10 @@
 #ifndef SATFR_SAT_CLAUSE_EXCHANGE_H_
 #define SATFR_SAT_CLAUSE_EXCHANGE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <mutex>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "sat/types.h"
@@ -21,7 +20,8 @@ struct SharedClause {
   std::uint32_t lbd = 0;
 };
 
-// Bounded, mutex-guarded learnt-clause exchange for portfolio solving.
+// Bounded, lock-free learnt-clause exchange for parallel solving (portfolio
+// members and cube-and-conquer workers).
 //
 // Each participating solver registers once and receives a participant id.
 // Registration carries two numbering keys describing how the participant's
@@ -40,30 +40,67 @@ struct SharedClause {
 // strategies with incompatible numberings (different symmetry sequences,
 // different domain encodings) can safely coexist in one exchange.
 //
-// Publish appends to a bounded FIFO (oldest entries evicted) and drops
-// exact duplicates via a hash of the sorted literal codes. Collect returns
-// every compatible clause published since the caller's previous Collect,
-// excluding the caller's own publications.
+// Storage is a fixed ring of generation-stamped slots (the predecessor was
+// a mutex-guarded deque whose lock serialized every Publish/Collect across
+// members; past ~3 members the lock, not the clauses, was the bottleneck).
+// Publish claims a monotonically increasing ticket with one fetch_add; the
+// ticket's slot (ticket mod capacity) is filled under a per-slot seqlock:
+// the stamp is set to the ticket's odd "writing" value, the payload words
+// (all relaxed atomics) are stored, and the stamp is released to the
+// ticket's even "complete" value. Old entries are never freed — the ring
+// wrapping around IS the eviction policy. Collect walks the tickets between
+// the caller's private read cursor and the publish cursor, validating each
+// slot's stamp before AND after copying the payload: a stamp from a newer
+// ticket means the entry was evicted mid-read (the copy is discarded — this
+// is the torn-read detection), a stamp below the expected value means the
+// writer is still in flight (the cursor parks there and retries next time).
+// No path blocks on another thread except the (vanishingly rare) writer
+// spin waiting for the previous occupant of a slot to finish its store
+// sequence after the ring wrapped a full capacity during that store.
+// DESIGN.md §11 gives the memory-ordering argument.
 //
-// All public methods are thread-safe; callers hold no lock across calls.
+// Publishes of clauses longer than kMaxSharedLits are dropped (counted in
+// Totals::oversize_dropped): sharing targets units and low-LBD learnts, and
+// fixed-size slots are what keep the ring index-addressable without a heap.
+//
+// Duplicate suppression is approximate: a fixed hash table maps a clause
+// hash to the last ticket that published it, and a publish is dropped only
+// when that ticket is still inside the live window. Races can admit a
+// duplicate (harmless — importers dedup by literal hash) but a
+// single-threaded publish sequence behaves exactly like the old FIFO dedup.
+//
+// All public methods are thread-safe and lock-free; callers hold no lock
+// across calls. Collect must only be called by the registered participant
+// itself (each cursor has a single owner).
 class ClauseExchange {
  public:
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 14;
+  /// Longest clause a slot can carry; longer publishes are dropped.
+  static constexpr std::size_t kMaxSharedLits = 24;
+  /// Fixed participant table (ids are array indexes; Register past this
+  /// returns -1, which Publish/Collect treat as "not participating").
+  static constexpr int kMaxParticipants = 64;
 
   struct Totals {
     std::uint64_t published = 0;
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t evicted = 0;
     std::uint64_t collected = 0;
+    /// Publishes dropped because the clause exceeds kMaxSharedLits.
+    std::uint64_t oversize_dropped = 0;
+    /// Collect-side discards of entries overwritten mid-copy (the seqlock
+    /// validation tripping; each is also an eviction from the reader's
+    /// point of view).
+    std::uint64_t torn_reads = 0;
   };
 
-  explicit ClauseExchange(std::size_t capacity = kDefaultCapacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit ClauseExchange(std::size_t capacity = kDefaultCapacity);
 
   ClauseExchange(const ClauseExchange&) = delete;
   ClauseExchange& operator=(const ClauseExchange&) = delete;
 
-  // Registers a participant with its numbering keys; returns its id.
+  // Registers a participant with its numbering keys; returns its id, or -1
+  // once kMaxParticipants ids have been handed out.
   int Register(std::uint64_t full_key, std::uint64_t unit_key);
 
   // Offers a learnt clause to the other participants, tagged with the
@@ -73,7 +110,9 @@ class ClauseExchange {
 
   // Appends to *out every clause published since this participant's last
   // Collect that it is compatible with (and did not publish itself).
-  // Returns the number of clauses appended.
+  // Returns the number of clauses appended. Entries evicted before the
+  // cursor reached them are skipped; an entry whose publish is still in
+  // flight parks the cursor and is delivered by the next Collect.
   std::size_t Collect(int participant, std::vector<SharedClause>* out);
 
   // Order-insensitive FNV-1a hash of the literal set. Public because it is
@@ -81,32 +120,63 @@ class ClauseExchange {
   // reference changes across the owner's GC, the literal hash does not.
   static std::uint64_t HashClause(const Clause& clause);
 
+  /// Ring capacity in clauses (constructor argument rounded up to a power
+  /// of two).
   std::size_t capacity() const { return capacity_; }
   Totals totals() const;
 
  private:
-  struct Entry {
-    Clause lits;
-    std::uint32_t lbd;
-    int source;
-    std::uint64_t full_key;
-    std::uint64_t unit_key;
-    std::uint64_t seq;
+  // Slot stamps encode the ticket and the write phase in one value:
+  //   0                  slot never written
+  //   2*ticket + 1       ticket's publish is in flight ("writing")
+  //   2*ticket + 2       ticket's payload is complete and readable
+  // Stamps at one slot increase monotonically (tickets hitting a slot are
+  // capacity apart), so a reader expecting ticket t classifies any observed
+  // stamp with two comparisons against StampComplete(t).
+  static std::uint64_t StampWriting(std::uint64_t ticket) {
+    return 2 * ticket + 1;
+  }
+  static std::uint64_t StampComplete(std::uint64_t ticket) {
+    return 2 * ticket + 2;
+  }
+
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};
+    // size(8) | lbd(16) | source(16), packed so one relaxed load pairs with
+    // the literal array.
+    std::atomic<std::uint64_t> meta{0};
+    std::atomic<std::uint32_t> lits[kMaxSharedLits];
   };
 
   struct Member {
-    std::uint64_t full_key;
-    std::uint64_t unit_key;
-    std::uint64_t cursor;  // first sequence number not yet collected
+    std::uint64_t full_key = 0;
+    std::uint64_t unit_key = 0;
+    // First ticket not yet collected. Owned by the participant's thread;
+    // atomic so Register (possibly another thread) can seed it.
+    std::atomic<std::uint64_t> cursor{0};
   };
 
-  const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Entry> entries_;
-  std::vector<Member> members_;
-  std::unordered_set<std::uint64_t> seen_hashes_;
-  std::uint64_t next_seq_ = 0;
-  Totals totals_;
+  const std::size_t capacity_;  // power of two
+  const std::size_t slot_mask_;
+  std::unique_ptr<Slot[]> slots_;
+
+  // Approximate live-window dedup: hash -> last publishing ticket.
+  const std::size_t dedup_mask_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> dedup_hash_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> dedup_ticket_;
+
+  Member members_[kMaxParticipants];
+  std::atomic<int> num_members_{0};
+
+  // Next ticket to hand out == number of publishes accepted so far.
+  std::atomic<std::uint64_t> next_seq_{0};
+
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> duplicates_dropped_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> collected_{0};
+  std::atomic<std::uint64_t> oversize_dropped_{0};
+  std::atomic<std::uint64_t> torn_reads_{0};
 };
 
 }  // namespace satfr::sat

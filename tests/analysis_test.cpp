@@ -544,5 +544,35 @@ TEST(SelfcheckTest, AcceptanceAllEvaluatedEncodingsOnMcncInstances) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cube pass.
+// ---------------------------------------------------------------------------
+
+TEST(CubePassesTest, CubeDeterminismRunsCleanOnConflictGraph) {
+  Rng rng(2025);
+  const graph::Graph g = testutil::RandomGraph(rng, 10, 0.4);
+  AnalysisInput input;
+  input.conflict_graph = &g;
+  const AnalysisReport report = Lint(input);
+  bool ran = false;
+  for (const PassOutcome& outcome : report.outcomes) {
+    if (outcome.pass == "cube-determinism") ran = outcome.ran;
+  }
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(FindingsOf(report, "cube-determinism").empty())
+      << FormatText(report);
+}
+
+TEST(CubePassesTest, CubeDeterminismNeedsAGraph) {
+  Cnf cnf(2);
+  cnf.AddBinary(Lit::Pos(0), Lit::Pos(1));
+  const AnalysisReport report = LintCnf(cnf);
+  for (const PassOutcome& outcome : report.outcomes) {
+    if (outcome.pass == "cube-determinism") {
+      EXPECT_FALSE(outcome.ran);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace satfr::analysis

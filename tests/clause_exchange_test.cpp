@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "sat/solver.h"
@@ -205,6 +206,134 @@ TEST(ClauseExchangeTest, ConcurrentPublishCollectIsSafe) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(exchange.totals().published, 1u * kThreads * kRounds);
+}
+
+TEST(ClauseExchangeTest, EvictionWraparoundStress) {
+  // TSan target: a tiny ring forces every publisher to lap the buffer many
+  // times, so writers constantly reclaim slots that readers are still
+  // classifying. The seqlock stamps must keep every collected clause intact
+  // and the eviction arithmetic exact across thousands of wraparounds.
+  ClauseExchange exchange(/*capacity=*/8);
+  constexpr int kPublishers = 3;
+  constexpr int kCollectors = 3;
+  constexpr int kRounds = 2000;
+  std::vector<int> pub_ids, col_ids;
+  for (int t = 0; t < kPublishers; ++t) pub_ids.push_back(exchange.Register(1, 1));
+  for (int t = 0; t < kCollectors; ++t) col_ids.push_back(exchange.Register(1, 1));
+  std::atomic<bool> corrupt{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kPublishers; ++t) {
+    threads.emplace_back([&exchange, &pub_ids, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Distinct positive literals per publisher/round: never a duplicate.
+        const int base = (t * kRounds + r) * 3 + 1;
+        exchange.Publish(pub_ids[static_cast<std::size_t>(t)],
+                         C({base, base + 1, base + 2}));
+      }
+    });
+  }
+  for (int t = 0; t < kCollectors; ++t) {
+    threads.emplace_back([&exchange, &col_ids, &corrupt, t] {
+      std::vector<SharedClause> got;
+      for (int r = 0; r < kRounds; ++r) {
+        got.clear();
+        exchange.Collect(col_ids[static_cast<std::size_t>(t)], &got);
+        for (const SharedClause& sc : got) {
+          // Published clauses are consecutive positive triples; anything
+          // else is a torn read that leaked past the stamp recheck.
+          if (sc.lits.size() != 3 || sc.lits[0].negated() ||
+              sc.lits[1].var() != sc.lits[0].var() + 1 ||
+              sc.lits[2].var() != sc.lits[0].var() + 2) {
+            corrupt.store(true);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(corrupt.load());
+  const ClauseExchange::Totals totals = exchange.totals();
+  EXPECT_EQ(totals.published, 1u * kPublishers * kRounds);
+  // Every accepted publish past the ring size overwrites a live slot.
+  EXPECT_EQ(totals.evicted, totals.published - exchange.capacity());
+}
+
+TEST(ClauseExchangeTest, TornReadsAreDetectedNotDelivered) {
+  // TSan + semantic target for the seqlock recheck: publishers rewrite the
+  // same few slots as fast as possible with self-consistent clauses
+  // (identical literals repeated kMaxSharedLits times) while readers
+  // validate every delivery. A reader that loses the race must skip or
+  // retry — observed via totals().torn_reads — but may never hand back a
+  // clause mixing two publishes.
+  ClauseExchange exchange(/*capacity=*/2);
+  constexpr int kPublishers = 2;
+  constexpr int kRounds = 4000;
+  const int writer_a = exchange.Register(1, 1);
+  const int writer_b = exchange.Register(1, 1);
+  const int reader = exchange.Register(1, 1);
+  std::atomic<bool> mixed{false};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kPublishers; ++t) {
+    threads.emplace_back([&exchange, t, writer_a, writer_b] {
+      Clause clause;
+      for (int r = 0; r < kRounds; ++r) {
+        clause.clear();
+        const int tag = t * kRounds + r + 1;
+        for (std::size_t i = 0; i < ClauseExchange::kMaxSharedLits; ++i) {
+          clause.push_back(Lit::Pos(tag));
+        }
+        exchange.Publish(t == 0 ? writer_a : writer_b, clause);
+      }
+    });
+  }
+  threads.emplace_back([&exchange, &mixed, &done, reader] {
+    std::vector<SharedClause> got;
+    while (!done.load(std::memory_order_relaxed)) {
+      got.clear();
+      exchange.Collect(reader, &got);
+      for (const SharedClause& sc : got) {
+        for (const Lit& l : sc.lits) {
+          if (l != sc.lits[0]) mixed.store(true);
+        }
+      }
+    }
+  });
+  threads[0].join();
+  threads[1].join();
+  done.store(true);
+  threads[2].join();
+  EXPECT_FALSE(mixed.load());
+  EXPECT_EQ(exchange.totals().published, 1u * kPublishers * kRounds);
+}
+
+TEST(ClauseExchangeTest, LaggingCollectorFastForwards) {
+  // A collector that slept through many evictions must land at the oldest
+  // live entry, not spin through thousands of reclaimed sequence numbers.
+  ClauseExchange exchange(/*capacity=*/4);
+  const int a = exchange.Register(1, 1);
+  const int b = exchange.Register(1, 1);
+  for (int r = 0; r < 100; ++r) exchange.Publish(a, C({r + 1}));
+  std::vector<SharedClause> got;
+  EXPECT_EQ(exchange.Collect(b, &got), 4u);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].lits, C({97}));
+  EXPECT_EQ(got[3].lits, C({100}));
+  // Caught up: the next collect sees only what is published after it.
+  exchange.Publish(a, C({101}));
+  got.clear();
+  EXPECT_EQ(exchange.Collect(b, &got), 1u);
+  EXPECT_EQ(got[0].lits, C({101}));
+}
+
+TEST(ClauseExchangeTest, RegisterBeyondParticipantLimitFails) {
+  ClauseExchange exchange;
+  int last = -1;
+  for (std::size_t i = 0; i < ClauseExchange::kMaxParticipants; ++i) {
+    last = exchange.Register(1, 1);
+  }
+  EXPECT_EQ(last, static_cast<int>(ClauseExchange::kMaxParticipants) - 1);
+  EXPECT_EQ(exchange.Register(1, 1), -1);
 }
 
 }  // namespace

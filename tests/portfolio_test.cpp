@@ -196,6 +196,47 @@ TEST(PortfolioTest, SharingReportsExchangeTraffic) {
   EXPECT_GT(result.exchange_totals.published, 0u);
 }
 
+TEST(PortfolioTest, CubeMemberWinsRacesWithExactVerdicts) {
+  // A portfolio whose cube member is the only complete strategy on both
+  // sides: it must deliver SAT at the DSATUR width and UNSAT below the
+  // clique bound, with the model validated by the portfolio's winner path.
+  Rng rng(555);
+  const graph::Graph g = testutil::RandomGraph(rng, 12, 0.4);
+  const int chi = graph::ChromaticNumberExact(g);
+  std::vector<Strategy> strategies(1);
+  strategies[0].encoding_name = "ITE-linear-2+muldirect";
+  strategies[0].heuristic = symmetry::Heuristic::kS1;
+  strategies[0].cube_workers = 2;
+  EXPECT_NE(strategies[0].DisplayName().find("cube x2"), std::string::npos);
+
+  const PortfolioResult sat_side = RunPortfolio(g, chi, strategies);
+  ASSERT_EQ(sat_side.winner, 0);
+  EXPECT_EQ(sat_side.result.status, sat::SolveResult::kSat);
+  EXPECT_TRUE(g.IsProperColoring(sat_side.result.tracks));
+  if (chi > 1) {
+    const PortfolioResult unsat_side = RunPortfolio(g, chi - 1, strategies);
+    ASSERT_EQ(unsat_side.winner, 0);
+    EXPECT_EQ(unsat_side.result.status, sat::SolveResult::kUnsat);
+  }
+}
+
+TEST(PortfolioTest, CubeMemberAlongsideCdclAndWalksat) {
+  // Mixed portfolio: CDCL + WalkSAT + cube racing the same SAT instance.
+  Rng rng(666);
+  const graph::Graph g = testutil::RandomGraph(rng, 12, 0.35);
+  const int width = graph::NumColorsUsed(graph::DsaturColoring(g));
+  std::vector<Strategy> strategies(3);
+  strategies[0].encoding_name = "ITE-linear-2+muldirect";
+  strategies[0].heuristic = symmetry::Heuristic::kS1;
+  strategies[1] = strategies[0];
+  strategies[1].use_walksat = true;
+  strategies[2] = strategies[0];
+  strategies[2].cube_workers = 2;
+  const PortfolioResult result = RunPortfolio(g, width, strategies);
+  ASSERT_GE(result.winner, 0);
+  EXPECT_EQ(result.result.status, sat::SolveResult::kSat);
+}
+
 TEST(PortfolioTest, LosersAreCancelledQuickly) {
   // One fast strategy and the rest on a hard instance: wall time must be
   // close to the fast strategy's, far under any hard-solve time.

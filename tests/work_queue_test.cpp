@@ -1,0 +1,131 @@
+#include "cube/work_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace satfr::cube {
+namespace {
+
+TEST(WorkStealingDequeTest, OwnerPopsLifo) {
+  WorkStealingDeque deque(8);
+  deque.PushBottom(1);
+  deque.PushBottom(2);
+  deque.PushBottom(3);
+  std::int64_t item = 0;
+  EXPECT_TRUE(deque.PopBottom(&item));
+  EXPECT_EQ(item, 3);
+  EXPECT_TRUE(deque.PopBottom(&item));
+  EXPECT_EQ(item, 2);
+  EXPECT_TRUE(deque.PopBottom(&item));
+  EXPECT_EQ(item, 1);
+  EXPECT_FALSE(deque.PopBottom(&item));
+}
+
+TEST(WorkStealingDequeTest, ThievesStealFifo) {
+  WorkStealingDeque deque(8);
+  deque.PushBottom(1);
+  deque.PushBottom(2);
+  deque.PushBottom(3);
+  std::int64_t item = 0;
+  EXPECT_TRUE(deque.Steal(&item));
+  EXPECT_EQ(item, 1);
+  EXPECT_TRUE(deque.Steal(&item));
+  EXPECT_EQ(item, 2);
+  EXPECT_TRUE(deque.Steal(&item));
+  EXPECT_EQ(item, 3);
+  EXPECT_FALSE(deque.Steal(&item));
+}
+
+TEST(WorkStealingDequeTest, EmptyAfterDrain) {
+  WorkStealingDeque deque(4);
+  EXPECT_TRUE(deque.Empty());
+  deque.PushBottom(7);
+  EXPECT_FALSE(deque.Empty());
+  std::int64_t item = 0;
+  EXPECT_TRUE(deque.PopBottom(&item));
+  EXPECT_TRUE(deque.Empty());
+}
+
+TEST(WorkStealingDequeTest, StealVersusPopRaceDeliversEachItemOnce) {
+  // TSan target and the core linearizability property: with one owner
+  // popping and several thieves stealing, every pushed item must be
+  // delivered to exactly one consumer — the last-element CAS race between
+  // PopBottom and Steal can award the item to either side but never to
+  // both, and never to no one while the deque still holds it.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque deque(kItems);
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> owner_done{false};
+
+  std::thread owner([&] {
+    // Interleave pushes and pops so the bottom end stays hot while thieves
+    // chew the top: push two, pop one, then drain.
+    std::int64_t item = 0;
+    for (int i = 0; i < kItems; ++i) {
+      deque.PushBottom(i);
+      if ((i & 1) != 0 && deque.PopBottom(&item)) {
+        seen[static_cast<std::size_t>(item)].fetch_add(1);
+      }
+    }
+    while (deque.PopBottom(&item)) {
+      seen[static_cast<std::size_t>(item)].fetch_add(1);
+    }
+    owner_done.store(true);
+  });
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::int64_t item = 0;
+      while (!owner_done.load() || !deque.Empty()) {
+        if (deque.Steal(&item)) {
+          seen[static_cast<std::size_t>(item)].fetch_add(1);
+        }
+      }
+    });
+  }
+  owner.join();
+  for (std::thread& t : thieves) t.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(WorkStealingDequeTest, SingleItemContention) {
+  // The hardest case for the CAS protocol: a deque that only ever holds one
+  // element, fought over by the owner and a thief simultaneously.
+  constexpr int kRounds = 10000;
+  WorkStealingDeque deque(2);
+  std::atomic<int> delivered{0};
+  std::atomic<bool> done{false};
+  std::thread thief([&] {
+    std::int64_t item = 0;
+    while (!done.load()) {
+      if (deque.Steal(&item)) delivered.fetch_add(1);
+    }
+  });
+  std::int64_t item = 0;
+  int owner_got = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    deque.PushBottom(r);
+    if (deque.PopBottom(&item)) ++owner_got;
+    // A lost pop means the thief has (or will momentarily have) the item;
+    // wait until it lands so each round stays one-in-one-out.
+    while (owner_got + delivered.load() != r + 1) {
+      std::this_thread::yield();
+    }
+  }
+  done.store(true);
+  thief.join();
+  EXPECT_EQ(owner_got + delivered.load(), kRounds);
+  EXPECT_TRUE(deque.Empty());
+}
+
+}  // namespace
+}  // namespace satfr::cube

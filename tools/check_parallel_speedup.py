@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate cube-and-conquer parallel scaling in CI.
+
+Reads a bench_cube JSON report (BENCH_pr6.json) and checks that the speedup
+from 1 worker to the highest worker count reaches a floor on at least
+`min_passing` instances. The floor scales with the cores that were actually
+available when the report was produced (recorded by bench_cube as
+"hardware_concurrency"): demanding 2.5x from a single-core container would
+only measure scheduler noise, so
+
+    effective = min(max_workers, hardware_concurrency)
+    floor     = TARGET_SPEEDUP            if effective >= max_workers
+              = PER_CORE_FRACTION * effective   otherwise (>= 1 core)
+
+With the default 8-worker sweep on >= 8 cores the floor is the full 2.5x
+acceptance target; on a 1-core machine it degrades to a sanity check that
+the pool does not collapse (0.45x allows thread-churn overhead).
+
+Timed-out cells make a speedup unmeasurable; such instances never pass but
+only fail the gate when too few measurable instances remain.
+
+Usage: check_parallel_speedup.py <report.json> [min_passing]
+Exits nonzero when fewer than `min_passing` (default 2) instances reach the
+floor, printing one line per instance either way.
+"""
+import json
+import sys
+
+TARGET_SPEEDUP = 2.5
+PER_CORE_FRACTION = 0.45
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    min_passing = int(sys.argv[2]) if len(sys.argv) == 3 else 2
+
+    workers = report["workers"]
+    cores = max(1, int(report.get("hardware_concurrency", 1)))
+    effective = min(workers[-1], cores)
+    if effective >= workers[-1]:
+        floor = TARGET_SPEEDUP
+    else:
+        floor = max(PER_CORE_FRACTION, PER_CORE_FRACTION * effective)
+    print(f"cores={cores} max_workers={workers[-1]} -> speedup floor "
+          f"{floor:.2f}x, need {min_passing} passing instance(s)")
+
+    passing = 0
+    measurable = 0
+    for inst in report.get("instances", []):
+        name = inst["name"]
+        seconds = inst["cube_seconds"]
+        timeouts = inst.get("cube_timeouts", [False] * len(seconds))
+        if timeouts[0] or timeouts[-1] or seconds[-1] <= 0.0:
+            print(f"skip {name}: timed out, speedup unmeasurable")
+            continue
+        measurable += 1
+        speedup = seconds[0] / seconds[-1]
+        ok = speedup >= floor
+        passing += ok
+        verdict = "ok" if ok else "LOW"
+        print(f"{verdict} {name}: x{workers[0]} {seconds[0]:.3f}s -> "
+              f"x{workers[-1]} {seconds[-1]:.3f}s = {speedup:.2f}x "
+              f"(floor {floor:.2f}x)")
+
+    if passing < min_passing:
+        print(f"FAIL: only {passing}/{measurable} measurable instance(s) "
+              f"reached the floor (need {min_passing})")
+        return 1
+    print(f"PASS: {passing}/{measurable} measurable instance(s) reached "
+          f"the floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,13 @@
 //   --dimacs-out FILE (export only) stream the CNF to FILE instead of the
 //                     default <benchmark>_w<W>.cnf; the formula goes to
 //                     disk clause by clause and is never held in memory
+//   --cube            (prove/route/route-file) cube-and-conquer: split each
+//                     width into cubes solved by a worker pool with a
+//                     lock-free clause exchange
+//   --workers N       (with --cube) worker-pool size (default 4)
+//   --cubes N         (with --cube) cube-count target per width (default 256)
+//   --deterministic   (with --cube) pin cube order, disable stealing and
+//                     sharing; single-worker runs become bit-reproducible
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "cube/cube_solver.h"
 #include "encode/registry.h"
 #include "flow/conflict_graph.h"
 #include "flow/detailed_router.h"
@@ -60,6 +68,10 @@ struct CliOptions {
   double timeout = 300.0;
   int width = -1;
   bool selfcheck = false;
+  bool cube = false;
+  int workers = 4;
+  int cubes = 256;
+  bool deterministic = false;
   std::vector<std::string> positional;
 };
 
@@ -98,6 +110,14 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.dimacs_out = next();
     } else if (arg == "--selfcheck") {
       opts.selfcheck = true;
+    } else if (arg == "--cube") {
+      opts.cube = true;
+    } else if (arg == "--workers") {
+      opts.workers = std::atoi(next().c_str());
+    } else if (arg == "--cubes") {
+      opts.cubes = std::atoi(next().c_str());
+    } else if (arg == "--deterministic") {
+      opts.deterministic = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       Usage();
@@ -118,6 +138,13 @@ flow::DetailedRouteOptions ToRouteOptions(const CliOptions& opts) {
   route.timeout_seconds = opts.timeout;
   route.selfcheck = opts.selfcheck;
   return route;
+}
+
+void ApplyCubeOptions(const CliOptions& opts, flow::MinWidthOptions* mw) {
+  if (!opts.cube) return;
+  mw->cube_workers = std::max(1, opts.workers);
+  mw->cube_target_cubes = std::max(1, opts.cubes);
+  mw->cube_deterministic = opts.deterministic;
 }
 
 /// Prints selfcheck findings; true if any is error-severity (fail fast).
@@ -181,6 +208,7 @@ int CmdProve(const CliOptions& opts) {
   const LoadedBenchmark loaded = LoadBenchmark(opts.positional[0]);
   flow::MinWidthOptions mw;
   mw.route = ToRouteOptions(opts);
+  ApplyCubeOptions(opts, &mw);
   const flow::MinWidthResult result =
       flow::FindMinimumWidthOnGraph(loaded.conflict, loaded.peak, mw);
   if (ReportLint(result.routable) || ReportLint(result.unroutable)) return 1;
@@ -223,9 +251,56 @@ void PrintSolverDetail(const sat::SolverStats& s) {
   }
 }
 
+// Routes one fixed width through the cube-and-conquer pool and prints the
+// pool-specific statistics (the monolithic path prints solver detail
+// instead; a pool's merged counters aggregate CPU across workers).
+int CmdRouteCube(const CliOptions& opts, const LoadedBenchmark& loaded) {
+  cube::CubeSolveOptions cube_options;
+  cube_options.pool.num_workers = std::max(1, opts.workers);
+  cube_options.pool.deterministic = opts.deterministic;
+  cube_options.gen.target_cubes = std::max(1, opts.cubes);
+  cube_options.solver = opts.solver == "minisat"
+                            ? sat::SolverOptions::MiniSatLike()
+                            : sat::SolverOptions::SiegeLike();
+  cube_options.timeout_seconds = opts.timeout;
+  const cube::CubeSolveResult result = cube::SolveColoringWithCubes(
+      loaded.conflict, opts.width, encode::GetEncoding(opts.encoding),
+      symmetry::HeuristicFromName(opts.sym), cube_options);
+  if (!result.error.empty()) {
+    std::printf("INTERNAL ERROR: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("%s in %.3fs (%zu cubes: %zu resolved, %zu stolen, "
+              "%zu+%zu pruned)\n",
+              sat::ToString(result.status), result.wall_seconds,
+              result.num_cubes, result.cubes_resolved, result.cubes_stolen,
+              result.pruned_conflict, result.pruned_symmetry);
+  std::printf("pool: %llu conflicts, %llu propagations, "
+              "%llu published / %llu collected via exchange\n",
+              static_cast<unsigned long long>(result.solver_stats.conflicts),
+              static_cast<unsigned long long>(
+                  result.solver_stats.propagations),
+              static_cast<unsigned long long>(
+                  result.exchange_totals.published),
+              static_cast<unsigned long long>(
+                  result.exchange_totals.collected));
+  if (result.status == sat::SolveResult::kSat) {
+    std::string error;
+    if (!flow::ValidateTrackAssignment(loaded.arch, loaded.routing,
+                                       result.colors, opts.width, &error)) {
+      std::printf("INTERNAL ERROR: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("track assignment validated (winning cube %d).\n",
+                result.winning_cube);
+  }
+  return result.status == sat::SolveResult::kUnknown ? 1 : 0;
+}
+
 int CmdRoute(const CliOptions& opts) {
   if (opts.positional.empty() || opts.width < 1) Usage();
   const LoadedBenchmark loaded = LoadBenchmark(opts.positional[0]);
+  if (opts.cube) return CmdRouteCube(opts, loaded);
   const auto result = flow::RouteDetailedOnGraph(loaded.conflict, opts.width,
                                                  ToRouteOptions(opts));
   if (ReportLint(result)) return 1;
@@ -417,6 +492,7 @@ int CmdRouteFile(const CliOptions& opts) {
   }
   flow::MinWidthOptions mw;
   mw.route = ToRouteOptions(opts);
+  ApplyCubeOptions(opts, &mw);
   const auto result = flow::FindMinimumWidthOnGraph(conflict, peak, mw);
   if (result.min_width < 0) {
     std::printf("TIMEOUT before establishing W*\n");
