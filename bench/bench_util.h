@@ -23,9 +23,26 @@
 #include "flow/min_width.h"
 #include "graph/coloring_bounds.h"
 #include "netlist/mcnc_suite.h"
+#include "obs/json.h"
 #include "route/global_router.h"
 
 namespace satfr::bench {
+
+/// Writes a bench report document through the shared JSON model
+/// (obs::JsonValue) instead of hand-rolled fprintf: key order is the
+/// insertion order, so the emitted schema is deterministic and parseable by
+/// the same code that reads run reports. Returns false after printing the
+/// bench-style error.
+inline bool WriteJsonReport(const std::string& path,
+                            const obs::JsonValue& doc) {
+  std::string error;
+  if (!obs::WriteJsonFile(path, doc, &error)) {
+    std::fprintf(stderr, "bench: cannot write '%s': %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
 
 inline double BenchTimeoutSeconds() {
   if (const char* env = std::getenv("SATFR_BENCH_TIMEOUT")) {

@@ -22,6 +22,9 @@ struct EncodingSpec;
 namespace satfr::route {
 struct GlobalRouting;
 }  // namespace satfr::route
+namespace satfr::obs {
+struct RunRecord;
+}  // namespace satfr::obs
 
 namespace satfr::analysis {
 
@@ -36,6 +39,9 @@ struct AnalysisInput {
   const encode::EncodingSpec* spec = nullptr;
   const std::vector<graph::VertexId>* symmetry_sequence = nullptr;
   const route::GlobalRouting* routing = nullptr;
+  // Run-report records (`satlint report <file.jsonl>`), checked by the
+  // telemetry layer's consistency passes.
+  const std::vector<obs::RunRecord>* run_records = nullptr;
 
   bool HasEncoding() const {
     return cnf != nullptr && conflict_graph != nullptr && encoded != nullptr &&

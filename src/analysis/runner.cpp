@@ -7,6 +7,7 @@
 #include "analysis/encoding_passes.h"
 #include "analysis/graph_passes.h"
 #include "analysis/solver_passes.h"
+#include "analysis/telemetry_passes.h"
 
 namespace satfr::analysis {
 
@@ -96,6 +97,7 @@ AnalysisRunner MakeDefaultRunner() {
   AddGraphPasses(runner);
   AddSolverPasses(runner);
   AddCubePasses(runner);
+  AddTelemetryPasses(runner);
   return runner;
 }
 

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "cube/work_queue.h"
 #include "encode/csp_to_cnf.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/solver_trace.h"
+#include "obs/trace.h"
 #include "sat/clause_sink.h"
 
 namespace satfr::cube {
@@ -90,7 +96,15 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
   std::atomic<std::size_t> stolen{0};
   std::mutex winner_mutex;
 
-  const auto take_work = [&](int w, std::int64_t* idx) {
+  // Telemetry plumbing. Each slot below is written only by its own worker
+  // thread (and read after the join), so plain non-atomic storage is fine.
+  obs::TraceWriter* const trace = obs::GlobalTrace();
+  const bool telemetry = trace != nullptr || obs::GlobalReport() != nullptr;
+  out.worker_loads.resize(static_cast<std::size_t>(n));
+  std::vector<sat::SolverStats> observed_per_worker(
+      static_cast<std::size_t>(n));
+
+  const auto take_work = [&](int w, std::int64_t* idx, std::uint64_t tid) {
     if (deques[static_cast<std::size_t>(w)]->PopBottom(idx)) return true;
     if (options_.deterministic) return false;
     // Steal phase: scan the other deques until one yields work or all are
@@ -100,10 +114,17 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
     while (!pool_stop.load(std::memory_order_relaxed)) {
       bool any_nonempty = false;
       for (int k = 1; k < n; ++k) {
+        const int victim_index = (w + k) % n;
         WorkStealingDeque& victim =
-            *deques[static_cast<std::size_t>((w + k) % n)];
+            *deques[static_cast<std::size_t>(victim_index)];
         if (victim.Steal(idx)) {
           stolen.fetch_add(1, std::memory_order_relaxed);
+          ++out.worker_loads[static_cast<std::size_t>(w)].steals;
+          if (trace != nullptr) {
+            trace->InstantEvent("steal", "cube", tid, trace->NowMicros(),
+                                {{"cube", obs::JsonValue(*idx)},
+                                 {"from", obs::JsonValue(victim_index)}});
+          }
           return true;
         }
         if (!victim.Empty()) any_nonempty = true;
@@ -116,6 +137,16 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
 
   const auto run_worker = [&](int w) {
     sat::Solver& solver = *workers_[static_cast<std::size_t>(w)].solver;
+    WorkerLoad& load = out.worker_loads[static_cast<std::size_t>(w)];
+    const std::uint64_t tid = obs::TraceWriter::CurrentTid();
+    if (trace != nullptr) {
+      trace->SetThreadName(tid, "cube-worker " + std::to_string(w));
+    }
+    std::optional<obs::SolverTelemetryObserver> observer;
+    if (telemetry) {
+      observer.emplace(trace, tid);
+      solver.SetObserver(&*observer);
+    }
     std::vector<sat::Lit> assumptions;
     std::int64_t idx = 0;
     while (!pool_stop.load(std::memory_order_relaxed)) {
@@ -124,13 +155,24 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
         pool_stop.store(true, std::memory_order_relaxed);
         break;
       }
-      if (!take_work(w, &idx)) break;
+      if (!take_work(w, &idx, tid)) break;
       assumptions = base_assumptions;
       const std::vector<sat::Lit>& cube =
           cubes[static_cast<std::size_t>(idx)];
       assumptions.insert(assumptions.end(), cube.begin(), cube.end());
+      std::optional<obs::TraceSpan> cube_span;
+      if (trace != nullptr) {
+        cube_span.emplace(trace, "cube " + std::to_string(idx), "cube", tid);
+      }
+      Stopwatch busy_watch;
       const sat::SolveResult status =
           solver.SolveWithAssumptions(assumptions, deadline, &pool_stop);
+      load.busy_seconds += busy_watch.Seconds();
+      ++load.cubes;
+      if (cube_span.has_value()) {
+        cube_span->AddArg("verdict", obs::JsonValue(sat::ToString(status)));
+        cube_span->End();
+      }
       if (status == sat::SolveResult::kSat) {
         std::lock_guard<std::mutex> lock(winner_mutex);
         if (!found_sat.load(std::memory_order_relaxed)) {
@@ -153,6 +195,12 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
         continue;
       }
       break;  // kUnknown: deadline hit or pool_stop raised mid-search
+    }
+    if (observer.has_value()) {
+      // Detach before the observer goes out of scope: the solver outlives
+      // this batch.
+      solver.SetObserver(nullptr);
+      observed_per_worker[static_cast<std::size_t>(w)] = observer->observed();
     }
   };
 
@@ -186,6 +234,25 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
 
   out.cubes_resolved = resolved.load(std::memory_order_relaxed);
   out.cubes_stolen = stolen.load(std::memory_order_relaxed);
+  if (telemetry) {
+    out.has_observed = true;
+    for (const sat::SolverStats& s : observed_per_worker) {
+      out.observed.Accumulate(s);
+    }
+  }
+  {
+    struct CubeMetricIds {
+      obs::MetricId resolved = obs::GlobalMetrics().Counter("cube.resolved");
+      obs::MetricId stolen = obs::GlobalMetrics().Counter("cube.stolen");
+      obs::MetricId batches = obs::GlobalMetrics().Counter("cube.batches");
+    };
+    static const CubeMetricIds ids;
+    obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+    metrics.Add(ids.resolved,
+                static_cast<std::uint64_t>(out.cubes_resolved));
+    metrics.Add(ids.stolen, static_cast<std::uint64_t>(out.cubes_stolen));
+    metrics.Add(ids.batches);
+  }
   if (found_sat.load(std::memory_order_relaxed)) {
     out.status = sat::SolveResult::kSat;
   } else if (refuted.load(std::memory_order_relaxed)) {
@@ -199,31 +266,11 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
 }
 
 sat::SolverStats CubeWorkerPool::MergedStats() const {
+  // Field-wise sum via the shared accumulator, so a SolverStats counter
+  // added tomorrow is merged here without another hand-written line.
+  // Summed solve_seconds is aggregate CPU seconds, not wall clock.
   sat::SolverStats merged;
-  for (const Worker& w : workers_) {
-    const sat::SolverStats& s = w.solver->stats();
-    merged.conflicts += s.conflicts;
-    merged.decisions += s.decisions;
-    merged.propagations += s.propagations;
-    merged.binary_propagations += s.binary_propagations;
-    merged.restarts += s.restarts;
-    merged.learned += s.learned;
-    merged.removed += s.removed;
-    merged.minimized_literals += s.minimized_literals;
-    merged.watch_inspections += s.watch_inspections;
-    merged.blocker_hits += s.blocker_hits;
-    merged.gc_runs += s.gc_runs;
-    merged.tier_promotions += s.tier_promotions;
-    merged.tier_demotions += s.tier_demotions;
-    merged.clauses_vivified += s.clauses_vivified;
-    merged.lits_removed_vivify += s.lits_removed_vivify;
-    merged.clauses_strengthened += s.clauses_strengthened;
-    merged.exported_clauses += s.exported_clauses;
-    merged.imported_clauses += s.imported_clauses;
-    merged.import_duplicates += s.import_duplicates;
-    // Sum of per-worker solve time: aggregate CPU seconds, not wall clock.
-    merged.solve_seconds += s.solve_seconds;
-  }
+  for (const Worker& w : workers_) merged.Accumulate(w.solver->stats());
   return merged;
 }
 
@@ -237,6 +284,14 @@ CubeSolveResult SolveColoringWithCubes(const graph::Graph& g, int num_colors,
                                        const CubeSolveOptions& options) {
   Stopwatch stopwatch;
   CubeSolveResult result;
+  obs::TraceWriter* const trace = obs::GlobalTrace();
+  obs::RunReportWriter* const report = obs::GlobalReport();
+  const char* const label =
+      options.run_label.empty() ? "graph" : options.run_label.c_str();
+  obs::TraceSpan solve_span(trace, "cube_solve", "cube");
+  solve_span.AddArg("instance", obs::JsonValue(label));
+  solve_span.AddArg("encoding", obs::JsonValue(encoding.name));
+  solve_span.AddArg("width", obs::JsonValue(num_colors));
 
   const auto sequence =
       symmetry::SymmetrySequence(g, num_colors, heuristic);
@@ -266,6 +321,11 @@ CubeSolveResult SolveColoringWithCubes(const graph::Graph& g, int num_colors,
   const Deadline deadline = options.timeout_seconds > 0.0
                                 ? Deadline::After(options.timeout_seconds)
                                 : Deadline::Infinite();
+  // Loading the formula can already propagate top-level units, so the
+  // batch's solver window is a stats DELTA, not the pool's lifetime total —
+  // the telemetry-consistency pass compares it against the observer sums,
+  // which only cover the batch.
+  const sat::SolverStats pre_batch = pool.MergedStats();
   CubeWorkerPool::BatchResult batch =
       pool.SolveBatch(cube_set.cubes, {}, deadline, options.stop);
 
@@ -273,6 +333,7 @@ CubeSolveResult SolveColoringWithCubes(const graph::Graph& g, int num_colors,
   result.winning_cube = batch.winning_cube;
   result.cubes_resolved = batch.cubes_resolved;
   result.cubes_stolen = batch.cubes_stolen;
+  result.worker_loads = std::move(batch.worker_loads);
   if (batch.status == sat::SolveResult::kSat) {
     std::vector<int> colors = encode::DecodeColoring(layout, batch.model);
     bool valid = static_cast<int>(colors.size()) == g.num_vertices() &&
@@ -296,6 +357,50 @@ CubeSolveResult SolveColoringWithCubes(const graph::Graph& g, int num_colors,
   result.solver_stats = pool.MergedStats();
   result.exchange_totals = pool.exchange_totals();
   result.wall_seconds = stopwatch.Seconds();
+  solve_span.AddArg("verdict", obs::JsonValue(sat::ToString(result.status)));
+  solve_span.AddArg("cubes",
+                    obs::JsonValue(static_cast<std::uint64_t>(
+                        result.num_cubes)));
+  solve_span.End();
+
+  if (report != nullptr) {
+    obs::RunRecord record;
+    record.instance = label;
+    record.phase = "cube";
+    record.encoding = encoding.name;
+    record.symmetry = symmetry::ToString(heuristic);
+    record.width = num_colors;
+    record.cube_workers = pool.num_workers();
+    record.verdict = sat::ToString(result.status);
+    // solve_seconds follows the merged-stats convention: aggregate CPU
+    // seconds over all workers (the observed phase split sums the same
+    // way); wall clock lives in total_seconds.
+    const sat::SolverStats window = result.solver_stats.Since(pre_batch);
+    record.solve_seconds = window.solve_seconds;
+    record.total_seconds = result.wall_seconds;
+    record.cnf_vars = static_cast<std::uint64_t>(layout.num_vars);
+    record.cnf_clauses =
+        static_cast<std::uint64_t>(layout.stats.TotalEmitted());
+    record.SetSolverWindow(window);
+    record.cubes = static_cast<std::uint64_t>(result.num_cubes);
+    record.cubes_stolen = static_cast<std::uint64_t>(result.cubes_stolen);
+    const sat::ClauseExchange::Totals& ex = result.exchange_totals;
+    record.exchange_exported = ex.published;
+    record.exchange_imported = ex.collected;
+    record.exchange_dropped_full = ex.evicted + ex.oversize_dropped;
+    record.exchange_torn_reads = ex.torn_reads;
+    if (batch.has_observed) {
+      record.has_observed = true;
+      record.observed_propagations = batch.observed.propagations;
+      record.observed_conflicts = batch.observed.conflicts;
+      record.observed_restarts = batch.observed.restarts;
+      record.observed_learned = batch.observed.learned;
+      record.observed_bcp_seconds = batch.observed.bcp_seconds;
+      record.observed_analyze_seconds = batch.observed.analyze_seconds;
+      record.observed_inprocess_seconds = batch.observed.inprocess_seconds;
+    }
+    report->Append(record);
+  }
   return result;
 }
 

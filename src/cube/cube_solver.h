@@ -83,6 +83,17 @@ class CubeWorkerPool {
   CubeWorkerPool(const CubeWorkerPool&) = delete;
   CubeWorkerPool& operator=(const CubeWorkerPool&) = delete;
 
+  /// Per-worker load figures for one batch (telemetry + the `satfr --cube`
+  /// end-of-run summary).
+  struct WorkerLoad {
+    /// Wall time this worker spent inside SolveWithAssumptions.
+    double busy_seconds = 0.0;
+    /// Cubes this worker solved (own deque + stolen).
+    std::size_t cubes = 0;
+    /// Cubes this worker stole from other workers' deques.
+    std::size_t steals = 0;
+  };
+
   struct BatchResult {
     sat::SolveResult status = sat::SolveResult::kUnknown;
     /// Index into the batch's cube vector of the SAT cube; -1 otherwise.
@@ -96,6 +107,14 @@ class CubeWorkerPool {
     std::size_t cubes_resolved = 0;
     /// Cubes a worker took from another worker's deque.
     std::size_t cubes_stolen = 0;
+    /// One entry per worker.
+    std::vector<WorkerLoad> worker_loads;
+    /// Counter totals accumulated through the per-worker SolverObserver
+    /// hooks during this batch; all-zero (has_observed false) when
+    /// telemetry is off. Cross-checked against MergedStats deltas by the
+    /// telemetry-consistency pass.
+    bool has_observed = false;
+    sat::SolverStats observed;
   };
 
   /// Solves every cube (assumptions = base_assumptions + cube) and
@@ -134,6 +153,8 @@ struct CubeSolveOptions {
   double timeout_seconds = 0.0;
   /// Optional cooperative cancellation (portfolio member use).
   const std::atomic<bool>* stop = nullptr;
+  /// Telemetry label (trace spans / run-report records); empty is fine.
+  std::string run_label;
 };
 
 struct CubeSolveResult {
@@ -159,6 +180,8 @@ struct CubeSolveResult {
   /// Counter sums over all workers.
   sat::SolverStats solver_stats;
   sat::ClauseExchange::Totals exchange_totals;
+  /// Per-worker busy/steal figures (see CubeWorkerPool::WorkerLoad).
+  std::vector<CubeWorkerPool::WorkerLoad> worker_loads;
   double wall_seconds = 0.0;
 };
 

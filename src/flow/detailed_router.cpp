@@ -1,16 +1,25 @@
 #include "flow/detailed_router.h"
 
 #include <cassert>
+#include <optional>
 #include <utility>
 
 #include "analysis/runner.h"
 #include "flow/conflict_graph.h"
 #include "flow/track_checker.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/solver_trace.h"
+#include "obs/trace.h"
 #include "sat/clause_sink.h"
 #include "sat/rup_checker.h"
 
 namespace satfr::flow {
 namespace {
+
+const char* RunLabel(const DetailedRouteOptions& options) {
+  return options.run_label.empty() ? "graph" : options.run_label.c_str();
+}
 
 /// `routing` is non-null only when the caller extracted the conflict graph
 /// from a global routing itself; the selfcheck's flow-two-pin pass then
@@ -25,11 +34,27 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
   result.conflict_vertices = conflict_graph.num_vertices();
   result.conflict_edges = conflict_graph.num_edges();
 
+  // Telemetry is pull-installed: both sinks default to null, so a solve
+  // with telemetry off costs two atomic loads here and nothing downstream.
+  obs::TraceWriter* trace = obs::GlobalTrace();
+  obs::RunReportWriter* report = obs::GlobalReport();
+
   Stopwatch encode_watch;
+  obs::TraceSpan encode_span(trace, "encode", "flow");
+  encode_span.AddArg("instance", obs::JsonValue(RunLabel(options)));
+  encode_span.AddArg("encoding", obs::JsonValue(options.encoding.name));
+  encode_span.AddArg("symmetry",
+                     obs::JsonValue(symmetry::ToString(options.heuristic)));
+  encode_span.AddArg("width", obs::JsonValue(num_tracks));
   const std::vector<graph::VertexId> sequence = symmetry::SymmetrySequence(
       conflict_graph, num_tracks, options.heuristic);
 
   sat::Solver solver(options.solver);
+  std::optional<obs::SolverTelemetryObserver> observer;
+  if (trace != nullptr || report != nullptr) {
+    observer.emplace(trace);
+    solver.SetObserver(&*observer);
+  }
   std::vector<sat::Clause> proof;
   if (options.verify_unsat_proof) solver.SetProofLog(&proof);
   if (options.exchange != nullptr && options.exchange_participant >= 0) {
@@ -92,8 +117,17 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
   result.cnf_clauses = layout.stats.TotalEmitted();
   result.encode_stats = layout.stats;
   result.encode_seconds = encode_watch.Seconds();
+  encode_span.AddArg("vars", obs::JsonValue(result.cnf_vars));
+  encode_span.AddArg("clauses",
+                     obs::JsonValue(static_cast<std::uint64_t>(
+                         result.cnf_clauses)));
+  encode_span.End();
 
   Stopwatch solve_watch;
+  obs::TraceSpan solve_span(trace, "solve", "flow");
+  solve_span.AddArg("instance", obs::JsonValue(RunLabel(options)));
+  solve_span.AddArg("encoding", obs::JsonValue(options.encoding.name));
+  solve_span.AddArg("width", obs::JsonValue(num_tracks));
   if (!consistent) {
     result.status = sat::SolveResult::kUnsat;
   } else {
@@ -104,6 +138,39 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
   }
   result.solve_seconds = solve_watch.Seconds();
   result.solver_stats = solver.stats();
+  solve_span.AddArg("verdict", obs::JsonValue(sat::ToString(result.status)));
+  solve_span.End();
+
+  if (report != nullptr) {
+    obs::RunRecord record;
+    record.instance = RunLabel(options);
+    record.phase = "route";
+    record.encoding = options.encoding.name;
+    record.symmetry = symmetry::ToString(options.heuristic);
+    record.width = num_tracks;
+    record.verdict = sat::ToString(result.status);
+    record.coloring_seconds = result.coloring_seconds;
+    record.encode_seconds = result.encode_seconds;
+    record.solve_seconds = result.solve_seconds;
+    record.total_seconds = result.TotalSeconds();
+    record.cnf_vars = static_cast<std::uint64_t>(result.cnf_vars);
+    record.cnf_clauses = static_cast<std::uint64_t>(result.cnf_clauses);
+    // The solver is fresh in this function, so its lifetime stats ARE the
+    // solve window.
+    record.SetSolverWindow(solver.stats());
+    const sat::LearntTierSizes tiers = solver.TierSizes();
+    record.learnts_core = tiers.core;
+    record.learnts_tier2 = tiers.tier2;
+    record.learnts_local = tiers.local;
+    record.peak_clause_memory_bytes = solver.ClauseMemoryBytes();
+    if (observer.has_value()) observer->FillRecord(&record);
+    report->Append(record);
+  }
+  {
+    static const obs::MetricId solves =
+        obs::GlobalMetrics().Counter("flow.solves");
+    obs::GlobalMetrics().Add(solves);
+  }
 
   if (result.status == sat::SolveResult::kSat) {
     result.tracks = encode::DecodeColoring(layout, solver.model());

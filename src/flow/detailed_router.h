@@ -47,6 +47,10 @@ struct DetailedRouteOptions {
   /// solver. Debug aid; off by default (linting re-walks the whole CNF).
   /// Forces the materializing encode path (the passes need the Cnf).
   bool selfcheck = false;
+  /// Label for telemetry (trace spans and run-report records): the MCNC
+  /// circuit / .col file / CNF name this solve belongs to. Purely
+  /// descriptive; empty is fine (records then say "graph").
+  std::string run_label;
   /// Chain a SimplifyingSink in front of the solver on the streaming path:
   /// unit-propagation/duplicate/tautology filtering happens clause by
   /// clause before the solver sees the stream. Elimination counts land in

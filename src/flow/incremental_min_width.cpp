@@ -1,17 +1,42 @@
 #include "flow/incremental_min_width.h"
 
 #include <algorithm>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "common/stopwatch.h"
 #include "cube/cube_solver.h"
 #include "encode/csp_to_cnf.h"
 #include "graph/coloring_bounds.h"
+#include "obs/run_report.h"
+#include "obs/solver_trace.h"
+#include "obs/trace.h"
 #include "sat/clause_sink.h"
 
 namespace satfr::flow {
 
 namespace {
+
+const char* RunLabel(const IncrementalMinWidthOptions& options) {
+  return options.run_label.empty() ? "graph" : options.run_label.c_str();
+}
+
+// Starts a per-width "incremental" record: context filled in, window stats
+// added by the caller once the width's query returns.
+obs::RunRecord MakeWidthRecord(const IncrementalMinWidthOptions& options,
+                               int width, const encode::ColoringLayout& layout,
+                               symmetry::Heuristic heuristic) {
+  obs::RunRecord record;
+  record.instance = RunLabel(options);
+  record.phase = "incremental";
+  record.encoding = options.encoding.name;
+  record.symmetry = symmetry::ToString(heuristic);
+  record.width = width;
+  record.cnf_vars = static_cast<std::uint64_t>(layout.num_vars);
+  record.cnf_clauses = static_cast<std::uint64_t>(layout.stats.TotalEmitted());
+  return record;
+}
 
 // Shared width-independent precomputation of both sweep modes.
 struct SweepSetup {
@@ -103,13 +128,20 @@ IncrementalMinWidthResult SweepMonolithic(
     const IncrementalMinWidthOptions& options, const Deadline& deadline) {
   IncrementalMinWidthResult result;
 
+  obs::TraceWriter* const trace = obs::GlobalTrace();
+  obs::RunReportWriter* const report = obs::GlobalReport();
+
   // Stream the base encoding and the guard ladder straight into the solver —
   // the incremental flow never needs a materialized Cnf.
   sat::Solver solver(options.solver);
   sat::SolverSink sink(solver);
   std::vector<sat::Var> guard;
+  obs::TraceSpan encode_span(trace, "encode_guarded", "incremental");
+  encode_span.AddArg("instance", obs::JsonValue(RunLabel(options)));
+  encode_span.AddArg("k_max", obs::JsonValue(setup.k_max));
   const encode::ColoringLayout layout =
       EmitGuardedFormula(conflict_graph, setup, options, sink, &guard);
+  encode_span.End();
   if (!sink.Finish()) {
     // Encoding contradictory without any guard: no width up to k_max works,
     // which cannot happen (k_max is DSATUR-certified). Defensive bail-out.
@@ -124,8 +156,38 @@ IncrementalMinWidthResult SweepMonolithic(
       assumptions.push_back(
           sat::Lit::Pos(guard[static_cast<std::size_t>(w)]));
     }
+    // Fresh observer per width: SetObserver re-baselines, so its observed
+    // totals cover exactly this width's window — the same window the record
+    // computes by SolverStats subtraction.
+    const sat::SolverStats before = solver.stats();
+    std::optional<obs::SolverTelemetryObserver> observer;
+    if (trace != nullptr || report != nullptr) {
+      observer.emplace(trace);
+      solver.SetObserver(&*observer);
+    }
+    obs::TraceSpan width_span(trace, "width " + std::to_string(w),
+                              "incremental");
     const sat::SolveResult status =
         solver.SolveWithAssumptions(assumptions, deadline);
+    width_span.AddArg("verdict", obs::JsonValue(sat::ToString(status)));
+    width_span.End();
+    if (observer.has_value()) solver.SetObserver(nullptr);
+    if (report != nullptr) {
+      obs::RunRecord record =
+          MakeWidthRecord(options, w, layout, options.heuristic);
+      record.verdict = sat::ToString(status);
+      const sat::SolverStats window = solver.stats().Since(before);
+      record.solve_seconds = window.solve_seconds;
+      record.total_seconds = window.solve_seconds;
+      record.SetSolverWindow(window);
+      const sat::LearntTierSizes tiers = solver.TierSizes();
+      record.learnts_core = tiers.core;
+      record.learnts_tier2 = tiers.tier2;
+      record.learnts_local = tiers.local;
+      record.peak_clause_memory_bytes = solver.ClauseMemoryBytes();
+      if (observer.has_value()) observer->FillRecord(&record);
+      report->Append(record);
+    }
     if (status == sat::SolveResult::kUnknown) break;  // timeout
     if (status == sat::SolveResult::kSat) {
       AcceptModel(conflict_graph, layout, solver.model(), w, &result);
@@ -179,6 +241,9 @@ IncrementalMinWidthResult SweepWithCubes(
     return result;
   }
 
+  obs::TraceWriter* const trace = obs::GlobalTrace();
+  obs::RunReportWriter* const report = obs::GlobalReport();
+
   cube::CubeGenOptions gen;
   gen.target_cubes = options.cube_target_cubes;
   for (int w = setup.start; w <= setup.k_max; ++w) {
@@ -191,10 +256,43 @@ IncrementalMinWidthResult SweepWithCubes(
     if (w < setup.k_max) {
       base.push_back(sat::Lit::Pos(guard[static_cast<std::size_t>(w)]));
     }
+    obs::TraceSpan width_span(trace, "width " + std::to_string(w),
+                              "incremental");
+    width_span.AddArg("cubes",
+                      obs::JsonValue(static_cast<std::uint64_t>(
+                          cube_set.cubes.size())));
+    const sat::SolverStats before = pool.MergedStats();
     const cube::CubeWorkerPool::BatchResult batch =
         pool.SolveBatch(cube_set.cubes, base, deadline);
     result.cubes_solved += batch.cubes_resolved;
     result.cubes_stolen += batch.cubes_stolen;
+    width_span.AddArg("verdict", obs::JsonValue(sat::ToString(batch.status)));
+    width_span.End();
+    if (report != nullptr) {
+      obs::RunRecord record =
+          MakeWidthRecord(options, w, layout, options.heuristic);
+      record.cube_workers = pool.num_workers();
+      record.verdict = sat::ToString(batch.status);
+      // Merged-stats convention: aggregate CPU seconds over all workers.
+      const sat::SolverStats window = pool.MergedStats().Since(before);
+      record.solve_seconds = window.solve_seconds;
+      record.total_seconds = window.solve_seconds;
+      record.SetSolverWindow(window);
+      record.cubes = static_cast<std::uint64_t>(cube_set.cubes.size());
+      record.cubes_stolen =
+          static_cast<std::uint64_t>(batch.cubes_stolen);
+      if (batch.has_observed) {
+        record.has_observed = true;
+        record.observed_propagations = batch.observed.propagations;
+        record.observed_conflicts = batch.observed.conflicts;
+        record.observed_restarts = batch.observed.restarts;
+        record.observed_learned = batch.observed.learned;
+        record.observed_bcp_seconds = batch.observed.bcp_seconds;
+        record.observed_analyze_seconds = batch.observed.analyze_seconds;
+        record.observed_inprocess_seconds = batch.observed.inprocess_seconds;
+      }
+      report->Append(record);
+    }
     if (batch.status == sat::SolveResult::kUnknown) break;  // timeout
     if (batch.status == sat::SolveResult::kSat) {
       AcceptModel(conflict_graph, layout, batch.model, w, &result);

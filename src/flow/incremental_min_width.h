@@ -45,6 +45,8 @@ struct IncrementalMinWidthOptions {
   int cube_target_cubes = 256;
   /// Pin cube order and disable stealing/sharing (reproducible runs).
   bool cube_deterministic = false;
+  /// Telemetry label (trace spans / run-report records); empty is fine.
+  std::string run_label;
 };
 
 struct IncrementalMinWidthResult {

@@ -1,9 +1,11 @@
 #include "flow/min_width.h"
 
 #include <algorithm>
+#include <string>
 
 #include "cube/cube_solver.h"
 #include "flow/conflict_graph.h"
+#include "obs/trace.h"
 
 namespace satfr::flow {
 
@@ -24,6 +26,7 @@ DetailedRouteResult RouteWidthWithCubes(const graph::Graph& conflict_graph,
   cube_options.solver = options.route.solver;
   cube_options.timeout_seconds = options.route.timeout_seconds;
   cube_options.stop = options.route.stop;
+  cube_options.run_label = options.route.run_label;
   const cube::CubeSolveResult cube_result = cube::SolveColoringWithCubes(
       conflict_graph, width, options.route.encoding, options.route.heuristic,
       cube_options);
@@ -50,10 +53,15 @@ MinWidthResult FindMinimumWidthOnGraph(const graph::Graph& conflict_graph,
   DetailedRouteResult previous;  // result at width-1 while scanning upward
   bool have_previous = false;
   for (int width = result.lower_bound; width <= options.max_width; ++width) {
+    obs::TraceSpan width_span(obs::GlobalTrace(),
+                              "width " + std::to_string(width), "sweep");
     DetailedRouteResult attempt =
         options.cube_workers > 0
             ? RouteWidthWithCubes(conflict_graph, width, options)
             : RouteDetailedOnGraph(conflict_graph, width, options.route);
+    width_span.AddArg("verdict",
+                      obs::JsonValue(sat::ToString(attempt.status)));
+    width_span.End();
     if (attempt.status == sat::SolveResult::kUnknown) {
       return result;  // timed out; min_width stays -1
     }

@@ -1,0 +1,109 @@
+// A minimal self-contained JSON value model with a parser and serializer.
+//
+// The telemetry layer (trace files, run reports, metrics snapshots) needs to
+// both emit and re-read JSON — the determinism test re-parses `--report`
+// output, satlint's telemetry-consistency pass loads run-report JSONL, and
+// the trace well-formedness test parses the emitted trace file. The repo
+// takes no external dependencies, so this is the one JSON implementation
+// everything shares (bench_util.h's hand-rolled fprintf emission dedupes
+// onto it too).
+//
+// Objects preserve insertion order: serialization is deterministic, which is
+// what makes run-report byte-stability (modulo timing fields) testable.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace satfr::obs {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+// Insertion-ordered object representation (deterministic serialization).
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(std::nullptr_t) : kind_(Kind::kNull) {}  // NOLINT
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}  // NOLINT
+  JsonValue(int i)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(std::int64_t i)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(std::uint64_t u)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(u)) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+  JsonValue(JsonArray a)  // NOLINT
+      : kind_(Kind::kArray), array_(std::move(a)) {}
+  JsonValue(JsonObject o)  // NOLINT
+      : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  std::int64_t AsInt() const { return static_cast<std::int64_t>(number_); }
+  std::uint64_t AsUint() const { return static_cast<std::uint64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const JsonArray& AsArray() const { return array_; }
+  JsonArray& AsArray() { return array_; }
+  const JsonObject& AsObject() const { return object_; }
+  JsonObject& AsObject() { return object_; }
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Appends / overwrites a key (object values only; asserts kind).
+  void Set(std::string key, JsonValue value);
+
+  /// Serializes compactly (no whitespace). Number formatting: integers in
+  /// the exactly-representable range print without a decimal point, so
+  /// counters round-trip textually.
+  std::string Dump() const;
+  void DumpTo(std::string& out) const;
+
+  /// Pretty-printed with two-space indentation (for human-facing reports).
+  std::string DumpPretty() const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Parses one JSON document. Returns false and fills `error` (with a byte
+/// offset) on malformed input; `value` is unspecified on failure.
+bool ParseJson(std::string_view text, JsonValue* value, std::string* error);
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding quotes).
+void JsonEscape(std::string_view s, std::string& out);
+
+/// Writes `value` to `path` followed by a newline. Returns false and fills
+/// `error` on I/O failure.
+bool WriteJsonFile(const std::string& path, const JsonValue& value,
+                   std::string* error);
+
+}  // namespace satfr::obs

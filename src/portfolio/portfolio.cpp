@@ -8,6 +8,7 @@
 #include "cube/cube_solver.h"
 #include "encode/csp_to_cnf.h"
 #include "encode/hierarchical.h"
+#include "obs/trace.h"
 #include "sat/clause_sink.h"
 #include "sat/walksat.h"
 
@@ -69,12 +70,14 @@ flow::DetailedRouteResult RunCubeStrategy(const graph::Graph& conflict_graph,
                                           int num_tracks,
                                           const Strategy& strategy,
                                           double timeout_seconds,
-                                          const std::atomic<bool>* stop) {
+                                          const std::atomic<bool>* stop,
+                                          const std::string& run_label) {
   cube::CubeSolveOptions options;
   options.pool.num_workers = strategy.cube_workers;
   options.solver = strategy.solver;
   options.timeout_seconds = timeout_seconds;
   options.stop = stop;
+  options.run_label = run_label;
   const cube::CubeSolveResult cube_result = cube::SolveColoringWithCubes(
       conflict_graph, num_tracks,
       encode::GetEncoding(strategy.encoding_name), strategy.heuristic,
@@ -187,13 +190,23 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
 
   for (std::size_t s = 0; s < strategies.size(); ++s) {
     threads.emplace_back([&, s] {
+      // Each strategy traces onto its own (OS-thread) track, named after
+      // the strategy so the Perfetto timeline reads "which member won".
+      obs::TraceWriter* const trace = obs::GlobalTrace();
+      if (trace != nullptr) {
+        trace->SetThreadName(obs::TraceWriter::CurrentTid(),
+                             "strategy " + std::to_string(s) + ": " +
+                                 strategies[s].DisplayName());
+      }
+      obs::TraceSpan strategy_span(trace, strategies[s].DisplayName(),
+                                   "portfolio");
       flow::DetailedRouteResult result;
       if (strategies[s].use_walksat) {
         result = RunWalkSatStrategy(conflict_graph, num_tracks,
                                     strategies[s], timeout_seconds, &stop);
       } else if (strategies[s].cube_workers > 0) {
         result = RunCubeStrategy(conflict_graph, num_tracks, strategies[s],
-                                 timeout_seconds, &stop);
+                                 timeout_seconds, &stop, options.run_label);
       } else {
         flow::DetailedRouteOptions route_options;
         route_options.encoding =
@@ -203,6 +216,7 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
         route_options.solver.share_max_lbd = options.share_max_lbd;
         route_options.timeout_seconds = timeout_seconds;
         route_options.stop = &stop;
+        route_options.run_label = options.run_label;
         if (participants[s] >= 0) {
           route_options.exchange = &exchange;
           route_options.exchange_participant = participants[s];
@@ -210,6 +224,9 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
         result = flow::RouteDetailedOnGraph(conflict_graph, num_tracks,
                                             route_options);
       }
+      strategy_span.AddArg("verdict",
+                           obs::JsonValue(sat::ToString(result.status)));
+      strategy_span.End();
       std::lock_guard<std::mutex> lock(winner_mutex);
       out.statuses[s] = result.status;
       out.strategy_stats[s] = result.solver_stats;

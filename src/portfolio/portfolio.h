@@ -58,6 +58,8 @@ struct PortfolioOptions {
   std::uint32_t share_max_lbd = 2;
   /// Bound on the exchange buffer (clauses); oldest entries are evicted.
   std::size_t exchange_capacity = sat::ClauseExchange::kDefaultCapacity;
+  /// Telemetry label (trace spans / run-report records); empty is fine.
+  std::string run_label;
 };
 
 struct PortfolioResult {

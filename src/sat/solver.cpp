@@ -20,6 +20,72 @@ namespace {
 constexpr std::int64_t kSimplifyMinNewFacts = 24;
 }  // namespace
 
+SolverStats SolverStats::Since(const SolverStats& baseline) const {
+  SolverStats d;
+  d.conflicts = conflicts - baseline.conflicts;
+  d.decisions = decisions - baseline.decisions;
+  d.propagations = propagations - baseline.propagations;
+  d.binary_propagations =
+      binary_propagations - baseline.binary_propagations;
+  d.restarts = restarts - baseline.restarts;
+  d.learned = learned - baseline.learned;
+  d.removed = removed - baseline.removed;
+  d.minimized_literals = minimized_literals - baseline.minimized_literals;
+  d.watch_inspections = watch_inspections - baseline.watch_inspections;
+  d.blocker_hits = blocker_hits - baseline.blocker_hits;
+  d.gc_runs = gc_runs - baseline.gc_runs;
+  d.tier_promotions = tier_promotions - baseline.tier_promotions;
+  d.tier_demotions = tier_demotions - baseline.tier_demotions;
+  d.clauses_vivified = clauses_vivified - baseline.clauses_vivified;
+  d.lits_removed_vivify =
+      lits_removed_vivify - baseline.lits_removed_vivify;
+  d.clauses_strengthened =
+      clauses_strengthened - baseline.clauses_strengthened;
+  d.exported_clauses = exported_clauses - baseline.exported_clauses;
+  d.imported_clauses = imported_clauses - baseline.imported_clauses;
+  d.import_duplicates = import_duplicates - baseline.import_duplicates;
+  d.solve_seconds = solve_seconds - baseline.solve_seconds;
+  for (std::size_t i = 0; i < kLbdHistogramSize; ++i) {
+    d.lbd_histogram[i] = lbd_histogram[i] - baseline.lbd_histogram[i];
+  }
+  d.bcp_seconds = bcp_seconds - baseline.bcp_seconds;
+  d.analyze_seconds = analyze_seconds - baseline.analyze_seconds;
+  d.inprocess_seconds = inprocess_seconds - baseline.inprocess_seconds;
+  return d;
+}
+
+void SolverStats::Accumulate(const SolverStats& other) {
+  conflicts += other.conflicts;
+  decisions += other.decisions;
+  propagations += other.propagations;
+  binary_propagations += other.binary_propagations;
+  restarts += other.restarts;
+  learned += other.learned;
+  removed += other.removed;
+  minimized_literals += other.minimized_literals;
+  watch_inspections += other.watch_inspections;
+  blocker_hits += other.blocker_hits;
+  gc_runs += other.gc_runs;
+  tier_promotions += other.tier_promotions;
+  tier_demotions += other.tier_demotions;
+  clauses_vivified += other.clauses_vivified;
+  lits_removed_vivify += other.lits_removed_vivify;
+  clauses_strengthened += other.clauses_strengthened;
+  exported_clauses += other.exported_clauses;
+  imported_clauses += other.imported_clauses;
+  import_duplicates += other.import_duplicates;
+  // Per-worker wall times overlap, so the merged figure is the pool's
+  // aggregate CPU-seconds of solving — the convention MergedStats already
+  // established for props/sec readings.
+  solve_seconds += other.solve_seconds;
+  for (std::size_t i = 0; i < kLbdHistogramSize; ++i) {
+    lbd_histogram[i] += other.lbd_histogram[i];
+  }
+  bcp_seconds += other.bcp_seconds;
+  analyze_seconds += other.analyze_seconds;
+  inprocess_seconds += other.inprocess_seconds;
+}
+
 const char* ToString(SolveResult result) {
   switch (result) {
     case SolveResult::kSat:
@@ -1245,9 +1311,19 @@ double Solver::Luby(double y, int i) {
 LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
                      const std::atomic<bool>* stop) {
   std::int64_t conflicts_here = 0;
+  // Phase timing is observer-gated: without one attached, the loop pays a
+  // single predictable branch per pass and zero clock reads.
+  const bool timed = observer_ != nullptr;
   Clause learnt;
   for (;;) {
-    const ClauseRef confl = Propagate();
+    ClauseRef confl;
+    if (timed) {
+      Stopwatch bcp_watch;
+      confl = Propagate();
+      stats_.bcp_seconds += bcp_watch.Seconds();
+    } else {
+      confl = Propagate();
+    }
     if (confl != kNoClause) {
       ++stats_.conflicts;
       ++conflicts_here;
@@ -1257,7 +1333,13 @@ LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
       }
       int backtrack_level = 0;
       std::uint32_t lbd = 0;
-      Analyze(confl, learnt, backtrack_level, lbd);
+      if (timed) {
+        Stopwatch analyze_watch;
+        Analyze(confl, learnt, backtrack_level, lbd);
+        stats_.analyze_seconds += analyze_watch.Seconds();
+      } else {
+        Analyze(confl, learnt, backtrack_level, lbd);
+      }
       if (proof_log_) proof_log_->push_back(learnt);
       ExportLearnt(learnt, lbd);
       Backtrack(backtrack_level);
@@ -1276,6 +1358,8 @@ LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
         UncheckedEnqueue(learnt[0], cref);
       }
       ++stats_.learned;
+      ++stats_.lbd_histogram[std::min<std::size_t>(
+          lbd, SolverStats::kLbdHistogramSize - 1)];
       DecayVarActivity();
       DecayClauseActivity();
       if ((stats_.conflicts & 255u) == 0 &&
@@ -1297,7 +1381,13 @@ LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
       if (static_cast<double>(learnts_local_.size()) -
               static_cast<double>(trail_.size()) >=
           max_learnts_) {
-        ReduceDb();
+        if (timed) {
+          Stopwatch reduce_watch;
+          ReduceDb();
+          stats_.inprocess_seconds += reduce_watch.Seconds();
+        } else {
+          ReduceDb();
+        }
       }
       // Assert pending assumptions first, one decision level each.
       Lit next = kUndefLit;
@@ -1327,6 +1417,16 @@ LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
 
 SolveResult Solver::Solve(Deadline deadline, const std::atomic<bool>* stop) {
   return SolveWithAssumptions({}, deadline, stop);
+}
+
+void Solver::EmitObserverSample(bool final_flush) {
+  SolverRestartSample sample;
+  sample.restart_index = stats_.restarts;
+  sample.final_flush = final_flush;
+  sample.window = stats_.Since(observer_baseline_);
+  sample.tiers = TierSizes();
+  observer_baseline_ = stats_;
+  observer_->OnRestartSample(sample);
 }
 
 bool Solver::CheckInvariants(std::string* error) const {
@@ -1637,6 +1737,7 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
   LBool status = LBool::kUndef;
   int restarts = 0;
   while (status == LBool::kUndef && !budget_exhausted_) {
+    Stopwatch inprocess_watch;
     // Restart boundary: the solver is at level 0, so the tier lists can be
     // rebucketed, shared clauses spliced into the database, and tier2
     // clauses vivified before the next descent.
@@ -1671,6 +1772,9 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
         break;
       }
     }
+    if (observer_ != nullptr) {
+      stats_.inprocess_seconds += inprocess_watch.Seconds();
+    }
     const double base =
         options_.luby_restarts
             ? Luby(2.0, restarts)
@@ -1680,8 +1784,16 @@ SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
     status = Search(budget, deadline, stop);
     ++restarts;
     ++stats_.restarts;
+    if (observer_ != nullptr && status == LBool::kUndef &&
+        !budget_exhausted_) {
+      EmitObserverSample(/*final_flush=*/false);
+    }
   }
   stats_.solve_seconds += stopwatch.Seconds();
+  // Flush the partial window since the last restart so observer-side
+  // totals cover the whole solve (the telemetry-consistency pass depends
+  // on the sum of windows equaling the stats delta exactly).
+  if (observer_ != nullptr) EmitObserverSample(/*final_flush=*/true);
 
   if (status == LBool::kTrue) {
     model_.resize(static_cast<std::size_t>(num_vars()));

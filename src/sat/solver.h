@@ -123,6 +123,12 @@ struct SolverOptions {
 };
 
 struct SolverStats {
+  /// Buckets of the learnt-LBD histogram: bucket i counts learnts whose LBD
+  /// was exactly i at learning time; the last bucket clamps everything
+  /// above. 18 covers the tiered DB's interesting range (core <= 2,
+  /// tier2 <= 6) with room to see the tail.
+  static constexpr std::size_t kLbdHistogramSize = 18;
+
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
@@ -153,6 +159,25 @@ struct SolverStats {
   // hash covers literals, not clause addresses).
   std::uint64_t import_duplicates = 0;
   double solve_seconds = 0.0;
+  // LBD distribution of everything learned (one array store per conflict).
+  std::uint64_t lbd_histogram[kLbdHistogramSize] = {};
+  // Phase-time split of the search: propagation vs. conflict analysis vs.
+  // restart-boundary inprocessing (reduce/vivify/rebucket/import). Only
+  // accumulated while a SolverObserver is attached — the timing reads cost
+  // two clock queries per propagation pass, so the unobserved hot path
+  // never pays them.
+  double bcp_seconds = 0.0;
+  double analyze_seconds = 0.0;
+  double inprocess_seconds = 0.0;
+
+  /// Field-wise delta `*this - baseline` (counters subtract, seconds
+  /// subtract). The window primitive behind per-record solver stats and
+  /// observer samples.
+  SolverStats Since(const SolverStats& baseline) const;
+
+  /// Field-wise sum. Merging per-worker stats (cube pool, portfolio) goes
+  /// through this so a new counter is added in exactly one place.
+  void Accumulate(const SolverStats& other);
 
   /// Assignments propagated per second of solving (0 before any solve).
   double PropagationsPerSecond() const {
@@ -167,6 +192,36 @@ struct SolverStats {
                      static_cast<double>(watch_inspections)
                : 0.0;
   }
+};
+
+/// Learnt-database tier sizes at a quiescent point.
+struct LearntTierSizes {
+  std::size_t core = 0;
+  std::size_t tier2 = 0;
+  std::size_t local = 0;
+};
+
+/// One restart-boundary telemetry sample. `window` is a stats *delta*
+/// covering everything since the previous sample (or since the observer was
+/// attached), including the phase-second split; the tier sizes are a
+/// point-in-time snapshot.
+struct SolverRestartSample {
+  std::uint64_t restart_index = 0;  // total restarts so far
+  bool final_flush = false;         // emitted at the end of a solve call
+  SolverStats window;
+  LearntTierSizes tiers;
+};
+
+/// Restart-boundary observer hook. The solver calls OnRestartSample at
+/// every restart boundary plus once when a solve call returns (the partial
+/// window since the last restart, final_flush = true). Attaching an
+/// observer also turns on phase timing (see SolverStats::bcp_seconds).
+/// Callbacks run on the solving thread; implementations must not call back
+/// into the solver.
+class SolverObserver {
+ public:
+  virtual ~SolverObserver() = default;
+  virtual void OnRestartSample(const SolverRestartSample& sample) = 0;
 };
 
 class Solver {
@@ -220,6 +275,21 @@ class Solver {
   }
 
   const SolverStats& stats() const { return stats_; }
+
+  /// Attaches a restart-boundary telemetry observer (nullptr detaches).
+  /// Attach before solving; the sample baseline is the attach-time stats,
+  /// so the first sample's window covers exactly what ran afterwards.
+  void SetObserver(SolverObserver* observer) {
+    observer_ = observer;
+    observer_baseline_ = stats_;
+  }
+
+  /// Sizes of the learnt tiers (list sizes; exact at restart boundaries
+  /// and between solves, approximate while tier tags are dirty mid-search).
+  LearntTierSizes TierSizes() const {
+    return LearntTierSizes{learnts_core_.size(), learnts_tier2_.size(),
+                           learnts_local_.size()};
+  }
 
   /// False once the clause set has been proven unsatisfiable.
   bool okay() const { return ok_; }
@@ -571,6 +641,12 @@ class Solver {
   std::vector<Clause>* proof_log_ = nullptr;
   std::vector<Lit> assumptions_;
   bool conflict_under_assumptions_ = false;
+
+  // Emits one observer sample: window = stats_ since the last sample.
+  void EmitObserverSample(bool final_flush);
+
+  SolverObserver* observer_ = nullptr;
+  SolverStats observer_baseline_;
 
   ClauseExchange* exchange_ = nullptr;
   int exchange_participant_ = -1;

@@ -1,0 +1,117 @@
+// TSan stress for the metrics registry's sharded hot path: many writer
+// threads hammer counters and histograms (first touch of the registry races
+// with shard creation) while a reader thread snapshots concurrently. The
+// assertions are deliberately light — the point of this binary is running
+// it under ThreadSanitizer in CI, where any lock/ordering bug in the shard
+// cache or snapshot summation is a hard failure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace satfr::obs {
+namespace {
+
+TEST(MetricsStressTest, ConcurrentShardedUpdatesWithSnapshots) {
+  MetricsRegistry registry;
+  constexpr int kWriters = 8;
+  constexpr int kIterations = 20000;
+  const MetricId counter = registry.Counter("stress.counter");
+  const MetricId histogram = registry.Histogram("stress.histogram");
+  const MetricId gauge = registry.Gauge("stress.gauge");
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snapshot = registry.Snapshot();
+      // Monotone sanity only: a mid-flight snapshot sees partial sums.
+      if (const MetricSnapshot* h = snapshot.Find("stress.histogram")) {
+        std::uint64_t total = 0;
+        for (const std::uint64_t b : h->buckets) total += b;
+        EXPECT_EQ(total, h->count);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&registry, counter, histogram, gauge, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.Add(counter);
+        registry.Observe(histogram,
+                         static_cast<std::uint64_t>(i) << (t % 8));
+        if ((i & 1023) == 0) registry.SetGauge(gauge, t);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSnapshot* c = snapshot.Find("stress.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, static_cast<std::uint64_t>(kWriters) * kIterations);
+  const MetricSnapshot* h = snapshot.Find("stress.histogram");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<std::uint64_t>(kWriters) * kIterations);
+}
+
+TEST(MetricsStressTest, ConcurrentRegistrationAndUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Everyone registers the same names (idempotent path under
+      // contention) plus one private name, then updates both.
+      const MetricId shared = registry.Counter("reg.shared");
+      const MetricId mine =
+          registry.Counter("reg.private." + std::to_string(t));
+      for (int i = 0; i < 5000; ++i) {
+        registry.Add(shared);
+        registry.Add(mine);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSnapshot* shared = snapshot.Find("reg.shared");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->value, static_cast<std::uint64_t>(kThreads) * 5000);
+  for (int t = 0; t < kThreads; ++t) {
+    const MetricSnapshot* mine =
+        snapshot.Find("reg.private." + std::to_string(t));
+    ASSERT_NE(mine, nullptr);
+    EXPECT_EQ(mine->value, 5000u);
+  }
+}
+
+TEST(MetricsStressTest, GlobalRegistryConcurrentAccess) {
+  MetricsRegistry& global = GlobalMetrics();
+  const MetricId counter = global.Counter("stress.global");
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&global, counter] {
+      for (int i = 0; i < 10000; ++i) global.Add(counter);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snapshot = global.Snapshot();
+  const MetricSnapshot* c = snapshot.Find("stress.global");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->value, static_cast<std::uint64_t>(kThreads) * 10000);
+}
+
+}  // namespace
+}  // namespace satfr::obs

@@ -31,10 +31,23 @@
 //   --cubes N         (with --cube) cube-count target per width (default 256)
 //   --deterministic   (with --cube) pin cube order, disable stealing and
 //                     sharing; single-worker runs become bit-reproducible
+//
+// Telemetry (all commands; each is independent and off by default):
+//   --trace-out FILE  write a Chrome trace_event JSON timeline (open in
+//                     Perfetto / chrome://tracing): encode/solve spans per
+//                     width, per-restart solver phase sub-spans, cube-worker
+//                     swimlanes
+//   --report FILE     append one structured JSONL record per solve
+//                     (verdict, timings, solver window counters, learnt-DB
+//                     shape, cube/exchange counters); lint it with
+//                     `satlint report FILE`
+//   --metrics-out FILE  write the global metrics registry snapshot as JSON
+//                     at exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +61,9 @@
 #include "graph/dimacs_col.h"
 #include "netlist/mcnc_suite.h"
 #include "netlist/netlist_io.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "route/global_router.h"
 #include "route/routing_io.h"
 #include "sat/clause_sink.h"
@@ -65,6 +81,9 @@ struct CliOptions {
   std::string routing_file;
   std::string save_routing_file;
   std::string dimacs_out;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string report;
   double timeout = 300.0;
   int width = -1;
   bool selfcheck = false;
@@ -108,6 +127,12 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.save_routing_file = next();
     } else if (arg == "--dimacs-out") {
       opts.dimacs_out = next();
+    } else if (arg == "--trace-out") {
+      opts.trace_out = next();
+    } else if (arg == "--metrics-out") {
+      opts.metrics_out = next();
+    } else if (arg == "--report") {
+      opts.report = next();
     } else if (arg == "--selfcheck") {
       opts.selfcheck = true;
     } else if (arg == "--cube") {
@@ -137,8 +162,62 @@ flow::DetailedRouteOptions ToRouteOptions(const CliOptions& opts) {
                      : sat::SolverOptions::SiegeLike();
   route.timeout_seconds = opts.timeout;
   route.selfcheck = opts.selfcheck;
+  if (!opts.positional.empty()) route.run_label = opts.positional[0];
   return route;
 }
+
+// Installs the global telemetry sinks for the process (when requested) and
+// flushes the file-shaped ones at scope exit. Commands just pull
+// GlobalTrace()/GlobalReport() — a run without these flags costs them two
+// null loads per solve.
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(const CliOptions& opts)
+      : trace_path_(opts.trace_out), metrics_path_(opts.metrics_out) {
+    if (!trace_path_.empty()) {
+      trace_ = std::make_unique<obs::TraceWriter>();
+      obs::SetGlobalTrace(trace_.get());
+    }
+    if (!opts.report.empty()) {
+      report_ = std::make_unique<obs::RunReportWriter>(opts.report);
+      if (!report_->ok()) {
+        std::fprintf(stderr, "cannot open report file '%s'\n",
+                     opts.report.c_str());
+        report_.reset();
+      } else {
+        obs::SetGlobalReport(report_.get());
+      }
+    }
+  }
+
+  ~TelemetrySession() {
+    obs::SetGlobalTrace(nullptr);
+    obs::SetGlobalReport(nullptr);
+    std::string error;
+    if (trace_ != nullptr && !trace_->WriteFile(trace_path_, &error)) {
+      std::fprintf(stderr, "trace write failed: %s\n", error.c_str());
+    }
+    if (!metrics_path_.empty() &&
+        !obs::WriteJsonFile(metrics_path_,
+                            obs::GlobalMetrics().Snapshot().ToJson(),
+                            &error)) {
+      std::fprintf(stderr, "metrics write failed: %s\n", error.c_str());
+    }
+    if (report_ != nullptr) {
+      std::fprintf(stderr, "report: %zu record(s) -> %s\n",
+                   report_->records_written(), report_->path().c_str());
+    }
+  }
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::TraceWriter> trace_;
+  std::unique_ptr<obs::RunReportWriter> report_;
+};
 
 void ApplyCubeOptions(const CliOptions& opts, flow::MinWidthOptions* mw) {
   if (!opts.cube) return;
@@ -263,6 +342,7 @@ int CmdRouteCube(const CliOptions& opts, const LoadedBenchmark& loaded) {
                             ? sat::SolverOptions::MiniSatLike()
                             : sat::SolverOptions::SiegeLike();
   cube_options.timeout_seconds = opts.timeout;
+  if (!opts.positional.empty()) cube_options.run_label = opts.positional[0];
   const cube::CubeSolveResult result = cube::SolveColoringWithCubes(
       loaded.conflict, opts.width, encode::GetEncoding(opts.encoding),
       symmetry::HeuristicFromName(opts.sym), cube_options);
@@ -275,15 +355,26 @@ int CmdRouteCube(const CliOptions& opts, const LoadedBenchmark& loaded) {
               sat::ToString(result.status), result.wall_seconds,
               result.num_cubes, result.cubes_resolved, result.cubes_stolen,
               result.pruned_conflict, result.pruned_symmetry);
-  std::printf("pool: %llu conflicts, %llu propagations, "
-              "%llu published / %llu collected via exchange\n",
+  std::printf("pool: %llu conflicts, %llu propagations\n",
               static_cast<unsigned long long>(result.solver_stats.conflicts),
               static_cast<unsigned long long>(
-                  result.solver_stats.propagations),
-              static_cast<unsigned long long>(
-                  result.exchange_totals.published),
-              static_cast<unsigned long long>(
-                  result.exchange_totals.collected));
+                  result.solver_stats.propagations));
+  // Exchange health: exported/imported are the useful flow; dropped-full
+  // and torn-read discards climbing toward `exported` mean the ring is
+  // undersized (or readers are too slow) and sharing is mostly wasted work.
+  const sat::ClauseExchange::Totals& ex = result.exchange_totals;
+  std::printf("exchange: %llu exported, %llu imported, %llu dropped-full, "
+              "%llu torn-read discarded\n",
+              static_cast<unsigned long long>(ex.published),
+              static_cast<unsigned long long>(ex.collected),
+              static_cast<unsigned long long>(ex.evicted +
+                                              ex.oversize_dropped),
+              static_cast<unsigned long long>(ex.torn_reads));
+  for (std::size_t w = 0; w < result.worker_loads.size(); ++w) {
+    const cube::CubeWorkerPool::WorkerLoad& load = result.worker_loads[w];
+    std::printf("worker %zu: %.3fs busy, %zu cube(s), %zu steal(s)\n", w,
+                load.busy_seconds, load.cubes, load.steals);
+  }
   if (result.status == sat::SolveResult::kSat) {
     std::string error;
     if (!flow::ValidateTrackAssignment(loaded.arch, loaded.routing,
@@ -509,6 +600,7 @@ int main(int argc, char** argv) {
   if (argc < 2) Usage();
   const std::string command = argv[1];
   const CliOptions opts = ParseArgs(argc, argv);
+  const TelemetrySession telemetry(opts);
   if (command == "benchmarks") return CmdBenchmarks();
   if (command == "encodings") return CmdEncodings();
   if (command == "prove") return CmdProve(opts);

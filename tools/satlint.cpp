@@ -7,6 +7,9 @@
 //                                     also encode it and lint the CNF
 //   satlint encode <benchmark> [opts] build the MCNC benchmark's conflict
 //                                     graph, encode, and lint the result
+//   satlint report <file.jsonl>       lint a `satfr --report` run report
+//                                     (telemetry-consistency: observer
+//                                     totals vs solver-window stats)
 //
 // Options:
 //   --encoding NAME|all|evaluated
@@ -30,6 +33,7 @@
 
 #include "analysis/runner.h"
 #include "encode/csp_to_cnf.h"
+#include "obs/run_report.h"
 #include "encode/registry.h"
 #include "flow/conflict_graph.h"
 #include "fpga/device_graph.h"
@@ -56,10 +60,11 @@ struct LintOptions {
 
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
-               "usage: satlint <passes|cnf|col|encode> [args]\n"
+               "usage: satlint <passes|cnf|col|encode|report> [args]\n"
                "  satlint cnf <file.cnf>\n"
                "  satlint col <file.col> [--width K]\n"
                "  satlint encode <benchmark> [--width K]\n"
+               "  satlint report <file.jsonl>\n"
                "options: --encoding NAME|all|evaluated  --sym b1|s1|none"
                "  --json\n"
                "         --disable PASS  --severity PASS=info|warning|error\n"
@@ -239,6 +244,22 @@ int CmdEncode(const LintOptions& opts) {
   return LintEncodings(conflict, width, opts, &routing);
 }
 
+int CmdReport(const LintOptions& opts) {
+  if (opts.positional.empty()) Usage();
+  std::vector<obs::RunRecord> records;
+  std::string error;
+  if (!obs::LoadRunReport(opts.positional[0], &records, &error)) {
+    std::fprintf(stderr, "cannot load '%s': %s\n",
+                 opts.positional[0].c_str(), error.c_str());
+    return 2;
+  }
+  analysis::AnalysisInput input;
+  input.run_records = &records;
+  const std::string banner = opts.positional[0] + " (" +
+                             std::to_string(records.size()) + " record(s))";
+  return RunAndReport(MakeRunner(opts), input, opts, banner);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,5 +270,6 @@ int main(int argc, char** argv) {
   if (command == "cnf") return CmdCnf(opts);
   if (command == "col") return CmdCol(opts);
   if (command == "encode") return CmdEncode(opts);
+  if (command == "report") return CmdReport(opts);
   Usage();
 }
