@@ -8,6 +8,7 @@
 // or a full in-process encoding run.
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -28,6 +29,13 @@ struct RunRecord;
 
 namespace satfr::analysis {
 
+/// One source file handed to the source-scan layer (`satlint sources`):
+/// the path is used for diagnostics, the content is scanned verbatim.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
 /// Everything a pipeline run may look at. All pointers are optional and
 /// non-owning; the encoding-contract layer needs `cnf`, `conflict_graph`,
 /// `encoded` and `spec` together. `symmetry_sequence` may stay null for
@@ -42,6 +50,9 @@ struct AnalysisInput {
   // Run-report records (`satlint report <file.jsonl>`), checked by the
   // telemetry layer's consistency passes.
   const std::vector<obs::RunRecord>* run_records = nullptr;
+  // Repository source files (`satlint sources <file...>`), scanned by the
+  // source layer (mc-coverage).
+  const std::vector<SourceFile>* sources = nullptr;
 
   bool HasEncoding() const {
     return cnf != nullptr && conflict_graph != nullptr && encoded != nullptr &&

@@ -7,6 +7,7 @@
 #include "analysis/encoding_passes.h"
 #include "analysis/graph_passes.h"
 #include "analysis/solver_passes.h"
+#include "analysis/source_passes.h"
 #include "analysis/telemetry_passes.h"
 
 namespace satfr::analysis {
@@ -98,6 +99,7 @@ AnalysisRunner MakeDefaultRunner() {
   AddSolverPasses(runner);
   AddCubePasses(runner);
   AddTelemetryPasses(runner);
+  AddSourcePasses(runner);
   return runner;
 }
 

@@ -4,11 +4,13 @@
 #include <cstdio>
 #include <mutex>
 
+#include "mc/shim.h"
+
 namespace satfr {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_write_mutex;
+mc::Atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+mc::Mutex g_write_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -38,7 +40,7 @@ void LogLine(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  mc::MutexLock lock(g_write_mutex);
   std::fprintf(stderr, "[satfr %s] %s\n", LevelName(level), message.c_str());
 }
 

@@ -54,7 +54,7 @@ CubeWorkerPool::~CubeWorkerPool() = default;
 CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
     const std::vector<std::vector<sat::Lit>>& cubes,
     const std::vector<sat::Lit>& base_assumptions, Deadline deadline,
-    const std::atomic<bool>* external_stop) {
+    const mc::Atomic<bool>* external_stop) {
   BatchResult out;
   if (!ok_) {
     out.status = sat::SolveResult::kUnsat;
@@ -89,12 +89,12 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
         ->PushBottom(i);
   }
 
-  std::atomic<bool> pool_stop{false};
-  std::atomic<bool> found_sat{false};
-  std::atomic<bool> refuted{false};
-  std::atomic<std::size_t> resolved{0};
-  std::atomic<std::size_t> stolen{0};
-  std::mutex winner_mutex;
+  mc::Atomic<bool> pool_stop{false};
+  mc::Atomic<bool> found_sat{false};
+  mc::Atomic<bool> refuted{false};
+  mc::Atomic<std::size_t> resolved{0};
+  mc::Atomic<std::size_t> stolen{0};
+  mc::Mutex winner_mutex;
 
   // Telemetry plumbing. Each slot below is written only by its own worker
   // thread (and read after the join), so plain non-atomic storage is fine.
@@ -174,7 +174,7 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
         cube_span->End();
       }
       if (status == sat::SolveResult::kSat) {
-        std::lock_guard<std::mutex> lock(winner_mutex);
+        mc::MutexLock lock(winner_mutex);
         if (!found_sat.load(std::memory_order_relaxed)) {
           found_sat.store(true, std::memory_order_relaxed);
           out.winning_cube = static_cast<int>(idx);
@@ -208,7 +208,7 @@ CubeWorkerPool::BatchResult CubeWorkerPool::SolveBatch(
   // external_stop between cubes — a worker deep in a hard cube would never
   // see an external cancellation. The monitor bridges the two, so stopping
   // the pool (portfolio loss, CLI ^C path) interrupts mid-cube search.
-  std::atomic<bool> batch_done{false};
+  mc::Atomic<bool> batch_done{false};
   std::thread monitor;
   if (external_stop != nullptr) {
     monitor = std::thread([&] {
@@ -389,6 +389,10 @@ CubeSolveResult SolveColoringWithCubes(const graph::Graph& g, int num_colors,
     record.exchange_imported = ex.collected;
     record.exchange_dropped_full = ex.evicted + ex.oversize_dropped;
     record.exchange_torn_reads = ex.torn_reads;
+    record.exchange_cursor_advanced = ex.cursor_advanced;
+    record.exchange_self_skipped = ex.self_skipped;
+    record.exchange_incompatible_skipped = ex.incompatible_skipped;
+    record.exchange_eviction_skipped = ex.eviction_skipped;
     if (batch.has_observed) {
       record.has_observed = true;
       record.observed_propagations = batch.observed.propagations;

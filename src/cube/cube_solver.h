@@ -44,6 +44,7 @@
 
 #include "common/stopwatch.h"
 #include "cube/cube_gen.h"
+#include "mc/shim.h"
 #include "encode/registry.h"
 #include "graph/graph.h"
 #include "sat/clause_exchange.h"
@@ -123,7 +124,7 @@ class CubeWorkerPool {
   BatchResult SolveBatch(const std::vector<std::vector<sat::Lit>>& cubes,
                          const std::vector<sat::Lit>& base_assumptions,
                          Deadline deadline = Deadline(),
-                         const std::atomic<bool>* external_stop = nullptr);
+                         const mc::Atomic<bool>* external_stop = nullptr);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
   /// False once any worker's formula was refuted (at load or in a batch).
@@ -152,7 +153,7 @@ struct CubeSolveOptions {
   /// Wall-clock budget for the whole solve; <= 0 means unlimited.
   double timeout_seconds = 0.0;
   /// Optional cooperative cancellation (portfolio member use).
-  const std::atomic<bool>* stop = nullptr;
+  const mc::Atomic<bool>* stop = nullptr;
   /// Telemetry label (trace spans / run-report records); empty is fine.
   std::string run_label;
 };

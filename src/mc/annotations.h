@@ -1,0 +1,62 @@
+// Clang thread-safety-analysis attribute macros (-Wthread-safety).
+//
+// The macros expand to clang's capability attributes when the compiler
+// supports them and to nothing otherwise, so annotated code builds
+// unchanged under gcc. The CI `thread-safety` job compiles with clang and
+// -Werror=thread-safety, which turns every GUARDED_BY / REQUIRES violation
+// into a build failure.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no annotations, so
+// annotated state must be guarded by mc::Mutex and locked through
+// mc::MutexLock (src/mc/shim.h) — that one substitution is what makes the
+// static analysis see every acquire/release in the tree.
+#ifndef SATFR_MC_ANNOTATIONS_H_
+#define SATFR_MC_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SATFR_TSA_HAS(x) __has_attribute(x)
+#else
+#define SATFR_TSA_HAS(x) 0
+#endif
+
+#if SATFR_TSA_HAS(capability)
+#define SATFR_TSA(x) __attribute__((x))
+#else
+#define SATFR_TSA(x)
+#endif
+
+/// Marks a class as a lockable capability (mutex-like).
+#define SATFR_CAPABILITY(name) SATFR_TSA(capability(name))
+
+/// Marks an RAII class that acquires in its constructor and releases in its
+/// destructor.
+#define SATFR_SCOPED_CAPABILITY SATFR_TSA(scoped_lockable)
+
+/// Declares that a member may only be touched while `mu` is held.
+#define SATFR_GUARDED_BY(mu) SATFR_TSA(guarded_by(mu))
+
+/// Declares that the pointed-to data (not the pointer) is guarded by `mu`.
+#define SATFR_PT_GUARDED_BY(mu) SATFR_TSA(pt_guarded_by(mu))
+
+/// Declares that the function must be called with `mu` held.
+#define SATFR_REQUIRES(...) SATFR_TSA(requires_capability(__VA_ARGS__))
+
+/// Declares that the function acquires `mu` and does not release it.
+#define SATFR_ACQUIRE(...) SATFR_TSA(acquire_capability(__VA_ARGS__))
+
+/// Declares that the function releases `mu`.
+#define SATFR_RELEASE(...) SATFR_TSA(release_capability(__VA_ARGS__))
+
+/// Declares a conditional acquire: holds `mu` iff the function returned
+/// `result`.
+#define SATFR_TRY_ACQUIRE(result, ...) \
+  SATFR_TSA(try_acquire_capability(result, __VA_ARGS__))
+
+/// Declares that the function must NOT be called with `mu` held.
+#define SATFR_EXCLUDES(...) SATFR_TSA(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off for one function (used only with a
+/// written justification at the call site).
+#define SATFR_NO_THREAD_SAFETY_ANALYSIS SATFR_TSA(no_thread_safety_analysis)
+
+#endif  // SATFR_MC_ANNOTATIONS_H_

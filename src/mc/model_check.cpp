@@ -1,0 +1,931 @@
+// Cooperative-scheduler model checker behind the mc:: shim.
+//
+// Execution model
+// ---------------
+// Each schedule runs the litmus body on real std::threads, but a
+// mutex+condvar baton guarantees exactly one of them executes at any
+// moment. Every shim operation is a *schedule point*: before it executes,
+// the scheduler decides which registered thread runs next, and — for loads
+// — which store the load observes. Both decisions are appended to a trail
+// of (chosen, options) pairs, which makes any schedule a pure function of
+// its decision sequence: replay = force the same sequence.
+//
+// Exploration
+// -----------
+// Phase 1 enumerates decision sequences depth-first: run with a forced
+// prefix (defaults beyond it), then backtrack by incrementing the rightmost
+// decision that has an unexplored alternative whose cost fits the budget.
+// Costs: choosing to preempt a runnable thread (kind kPreempt, chosen > 0)
+// costs one preemption; choosing a stale store for a load (kind kRead,
+// chosen > 0) costs one stale read; everything else (switches at yields,
+// blocks, and thread exits) is free. Phase 2 is a seeded random walk with
+// no budget: each schedule draws every decision uniformly from an mt19937_64
+// seeded with random_seed + k, so a failure reproduces from its seed alone.
+//
+// Memory model (C++11-ish, per location, vector clocks)
+// -----------------------------------------------------
+// Every store appends {value, hb, rel} to the location's history, where hb
+// is the storing thread's vector clock and rel is the clock a reader
+// synchronizes with (the full clock for release stores, the clock of the
+// latest earlier release *fence* for relaxed stores, empty otherwise;
+// RMWs additionally join the clock of the store they read — the C++20
+// release-sequence rule). A load may observe any store from a candidate
+// window [min .. newest] where min is forced up by:
+//   * write-read coherence: the newest store whose hb-clock the reader
+//     already covers (it happened-before the load),
+//   * read coherence: the newest store this thread has already observed
+//     (last_seen),
+//   * seq_cst fences: a per-location published frontier (sc_front). An sc
+//     fence first adopts every location's frontier into the thread's floor
+//     (sc_min) and then publishes the thread's own latest stores — the
+//     fence-pair rule that makes e.g. the Chase-Lev owner/thief protocol
+//     come out right,
+//   * seq_cst loads additionally cannot see anything older than the latest
+//     seq_cst store (last_sc_store).
+// Acquire loads join the observed store's rel clock into the thread clock;
+// relaxed loads park it in acq_pending, which a later acquire fence joins.
+// RMWs always read the newest store; a failed CAS reads the newest store.
+//
+// Deliberate simplifications (all on the *conservative* side for the
+// structures under test, each asserted against the known-bad litmus tests
+// in mc_litmus_test.cpp):
+//   * modification order == execution order (stores serialize at schedule
+//     points, so coherence-order races collapse),
+//   * compare_exchange_weak cannot fail spuriously,
+//   * non-atomic accesses are invisible — plain-data races stay TSan's job.
+#include "mc/model_check.h"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/shim.h"
+
+namespace satfr::mc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Passthrough failure plumbing (used by non-SATFR_MODEL_CHECK builds, and by
+// Fail() calls landing outside an active schedule in instrumented builds).
+// ---------------------------------------------------------------------------
+
+struct PassthroughAbort {};
+
+std::mutex g_passthrough_mu;
+bool g_passthrough_active = false;
+bool g_passthrough_failed = false;
+std::string g_passthrough_failure;
+
+[[noreturn]] void PassthroughFail(const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(g_passthrough_mu);
+    if (g_passthrough_active) {
+      if (!g_passthrough_failed) {
+        g_passthrough_failed = true;
+        g_passthrough_failure = message;
+      }
+    } else {
+      std::fprintf(stderr, "mc::Fail outside any Check: %s\n", message.c_str());
+      std::abort();
+    }
+  }
+  throw PassthroughAbort{};
+}
+
+}  // namespace
+
+std::string ModelCheckResult::FailureSummary() const {
+  if (ok) return "model check passed";
+  std::ostringstream out;
+  out << "model check FAILED after " << schedules_explored
+      << " schedule(s): " << failure << "\n";
+  if (failing_seed != 0) {
+    out << "  replay: ModelCheckOptions::replay_seed = " << failing_seed
+        << "\n";
+  }
+  out << "  replay: ModelCheckOptions::replay_trail = {";
+  for (std::size_t i = 0; i < failing_trail.size(); ++i) {
+    if (i != 0) out << ",";
+    out << failing_trail[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+#if defined(SATFR_MODEL_CHECK)
+
+namespace {
+
+constexpr int kMaxThreads = 8;
+using Vc = std::array<std::uint32_t, kMaxThreads>;
+
+void VcJoin(Vc& into, const Vc& from) {
+  for (int i = 0; i < kMaxThreads; ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+bool VcLeq(const Vc& a, const Vc& b) {
+  for (int i = 0; i < kMaxThreads; ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool IsAcquire(std::memory_order order) {
+  return order == std::memory_order_acquire ||
+         order == std::memory_order_consume ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+bool IsRelease(std::memory_order order) {
+  return order == std::memory_order_release ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+// Thrown to unwind a litmus body when the schedule is over (failure or
+// abort); never escapes ThreadMain.
+struct AbortSchedule {};
+
+struct Store {
+  std::uint64_t value = 0;
+  Vc hb{};   // storing thread's clock: readers covering it must not see older
+  Vc rel{};  // what an acquire reader synchronizes with
+};
+
+struct Location {
+  std::vector<Store> stores;
+  // Per-thread floors on the candidate window, as store indices (-1 none).
+  std::array<int, kMaxThreads> last_seen;
+  std::array<int, kMaxThreads> sc_min;
+  std::array<int, kMaxThreads> last_store_by;
+  int sc_front = -1;       // newest index published by an sc store/fence
+  int last_sc_store = -1;  // floor for seq_cst loads
+
+  Location() {
+    last_seen.fill(-1);
+    sc_min.fill(-1);
+    last_store_by.fill(-1);
+  }
+};
+
+struct MutexState {
+  int owner = -1;
+  Vc clock{};  // release clock of the latest unlock
+};
+
+enum class ThreadState { kRunnable, kRunning, kBlockedJoin, kBlockedMutex, kDone };
+
+enum DecisionKind : std::uint8_t { kFree = 0, kPreempt = 1, kRead = 2 };
+
+struct Decision {
+  std::uint32_t chosen = 0;
+  std::uint32_t options = 1;
+  std::uint8_t kind = kFree;
+};
+
+enum class Mode { kExhaustive, kRandom, kReplayTrail };
+
+struct Session;
+
+struct ThreadRec {
+  int tid = 0;
+  Session* session = nullptr;
+  ThreadState state = ThreadState::kRunnable;
+  Vc clock{};
+  Vc acq_pending{};  // rel clocks of relaxed-read stores, armed by acquire fences
+  Vc fence_rel{};    // thread clock at the latest release fence
+  bool has_fence_rel = false;
+  int wait_join = -1;              // kBlockedJoin target tid
+  const void* wait_mutex = nullptr;  // kBlockedMutex target
+  std::condition_variable cv;
+  std::function<void()> body;
+  std::thread os;
+};
+
+struct Session {
+  explicit Session(const ModelCheckOptions& options, Mode m)
+      : opt(options), mode(m) {}
+
+  const ModelCheckOptions& opt;
+  Mode mode;
+  std::vector<std::uint32_t> forced;  // decision prefix to reproduce
+  std::mt19937_64 rng;
+
+  std::mutex mu;
+  std::condition_variable master_cv;
+  std::vector<std::unique_ptr<ThreadRec>> threads;
+  std::unordered_map<const void*, Location> locations;
+  std::unordered_map<const void*, MutexState> mutexes;
+  std::vector<Decision> trail;
+  int current = -1;
+  std::uint64_t steps = 0;
+  bool aborting = false;
+  bool failed = false;
+  std::string failure;
+  std::vector<std::uint32_t> failing_trail;
+  bool schedule_done = false;
+};
+
+thread_local ThreadRec* tl_self = nullptr;
+
+// Records the failure (first one wins) and wakes every waiter so the
+// schedule can unwind. Does not throw — callable from catch blocks.
+void RecordFailureLocked(Session& s, const std::string& message) {
+  if (!s.failed) {
+    s.failed = true;
+    s.failure = message;
+    s.failing_trail.clear();
+    s.failing_trail.reserve(s.trail.size());
+    for (const Decision& d : s.trail) s.failing_trail.push_back(d.chosen);
+  }
+  s.aborting = true;
+  for (auto& rec : s.threads) rec->cv.notify_all();
+  s.master_cv.notify_all();
+}
+
+[[noreturn]] void FailLocked(Session& s, const std::string& message) {
+  RecordFailureLocked(s, message);
+  throw AbortSchedule{};
+}
+
+// Appends one decision to the trail and returns the choice: forced prefix
+// first, then uniform-random (random mode) or the default 0 (exhaustive
+// default suffix / replay beyond the trail).
+std::uint32_t PickLocked(Session& s, std::uint32_t options, std::uint8_t kind) {
+  std::uint32_t chosen = 0;
+  if (s.trail.size() < s.forced.size()) {
+    chosen = std::min(s.forced[s.trail.size()], options - 1);
+  } else if (s.mode == Mode::kRandom && options > 1) {
+    chosen = static_cast<std::uint32_t>(s.rng() % options);
+  }
+  s.trail.push_back(Decision{chosen, options, kind});
+  return chosen;
+}
+
+void SwitchToLocked(Session& s, std::unique_lock<std::mutex>& lock, int next) {
+  ThreadRec& self = *tl_self;
+  self.state = ThreadState::kRunnable;
+  s.current = next;
+  s.threads[next]->cv.notify_all();
+  self.cv.wait(lock, [&] { return s.current == self.tid || s.aborting; });
+  if (s.aborting) throw AbortSchedule{};
+  self.state = ThreadState::kRunning;
+}
+
+// The per-operation decision point: pick who runs the operation about to
+// execute. `yielding` flips the default away from the current thread, which
+// is what makes mc::Yield hand spin-waited-on threads the processor.
+void SchedulePointLocked(Session& s, std::unique_lock<std::mutex>& lock,
+                         bool yielding) {
+  if (s.aborting) throw AbortSchedule{};
+  if (++s.steps > s.opt.max_steps) {
+    FailLocked(s,
+               "step budget exceeded — livelock? (spin loops must mc::Yield)");
+  }
+  ThreadRec& self = *tl_self;
+  const int n = static_cast<int>(s.threads.size());
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::uint8_t kind = kFree;
+  if (!yielding) order.push_back(self.tid);
+  for (int i = 1; i < n; ++i) {
+    const int t = (self.tid + i) % n;
+    if (s.threads[t]->state == ThreadState::kRunnable) order.push_back(t);
+  }
+  if (yielding) {
+    order.push_back(self.tid);  // staying put is the last alternative
+  } else if (order.size() > 1) {
+    kind = kPreempt;  // alternatives move us off a running thread: budgeted
+  }
+  const std::uint32_t chosen =
+      PickLocked(s, static_cast<std::uint32_t>(order.size()), kind);
+  const int next = order[chosen];
+  if (next != self.tid) SwitchToLocked(s, lock, next);
+}
+
+// Hands the processor over while `self` is blocked (join/mutex); fails the
+// schedule as a deadlock if nobody is runnable.
+void BlockedHandOffLocked(Session& s, std::unique_lock<std::mutex>& lock) {
+  ThreadRec& self = *tl_self;
+  const int n = static_cast<int>(s.threads.size());
+  std::vector<int> runnable;
+  for (int i = 1; i <= n; ++i) {
+    const int t = (self.tid + i) % n;
+    if (s.threads[t]->state == ThreadState::kRunnable) runnable.push_back(t);
+  }
+  if (runnable.empty()) {
+    FailLocked(s, "deadlock: every live thread is blocked");
+  }
+  const std::uint32_t chosen =
+      PickLocked(s, static_cast<std::uint32_t>(runnable.size()), kFree);
+  const int next = runnable[chosen];
+  s.current = next;
+  s.threads[next]->cv.notify_all();
+  self.cv.wait(lock, [&] { return s.current == self.tid || s.aborting; });
+  if (s.aborting) throw AbortSchedule{};
+  self.state = ThreadState::kRunning;
+}
+
+Location& LocationLocked(Session& s, const void* loc, std::uint64_t seed) {
+  auto [it, inserted] = s.locations.try_emplace(loc);
+  if (inserted) {
+    Store initial;
+    initial.value = seed;  // pre-schedule value, visible to everyone
+    it->second.stores.push_back(initial);
+  }
+  return it->second;
+}
+
+// Exit protocol for a finishing thread: wake joiners, hand off or finish
+// the schedule, and notify the master when every thread is done.
+void ExitLocked(Session& s, ThreadRec& self) {
+  self.state = ThreadState::kDone;
+  for (auto& rec : s.threads) {
+    if (rec->state == ThreadState::kBlockedJoin && rec->wait_join == self.tid) {
+      rec->state = ThreadState::kRunnable;
+    }
+  }
+  bool all_done = true;
+  for (auto& rec : s.threads) {
+    if (rec->state != ThreadState::kDone) all_done = false;
+  }
+  if (!s.aborting && !all_done) {
+    std::vector<int> runnable;
+    const int n = static_cast<int>(s.threads.size());
+    for (int i = 1; i <= n; ++i) {
+      const int t = (self.tid + i) % n;
+      if (s.threads[t]->state == ThreadState::kRunnable) runnable.push_back(t);
+    }
+    if (runnable.empty()) {
+      RecordFailureLocked(
+          s, "deadlock: thread exited leaving only blocked threads");
+    } else {
+      const std::uint32_t chosen =
+          PickLocked(s, static_cast<std::uint32_t>(runnable.size()), kFree);
+      s.current = runnable[chosen];
+      s.threads[s.current]->cv.notify_all();
+    }
+  }
+  if (all_done) {
+    s.schedule_done = true;
+    s.master_cv.notify_all();
+  }
+}
+
+void ThreadMain(Session* s, ThreadRec* rec) {
+  tl_self = rec;
+  bool run_body = true;
+  {
+    std::unique_lock<std::mutex> lock(s->mu);
+    rec->cv.wait(lock, [&] { return s->current == rec->tid || s->aborting; });
+    if (s->aborting) {
+      run_body = false;
+    } else {
+      rec->state = ThreadState::kRunning;
+    }
+  }
+  if (run_body) {
+    try {
+      rec->body();
+    } catch (const AbortSchedule&) {
+    } catch (const std::exception& e) {
+      std::unique_lock<std::mutex> lock(s->mu);
+      RecordFailureLocked(
+          *s, std::string("uncaught exception in model-checked thread: ") +
+                  e.what());
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(s->mu);
+      RecordFailureLocked(*s,
+                          "uncaught non-std exception in model-checked thread");
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(s->mu);
+    ExitLocked(*s, *rec);
+  }
+  tl_self = nullptr;
+}
+
+// Runs one schedule to completion: spawns the root thread over `body`,
+// waits for every participant to finish, joins the OS threads.
+void RunOneSchedule(Session& s, const std::function<void()>& body) {
+  auto root = std::make_unique<ThreadRec>();
+  root->tid = 0;
+  root->session = &s;
+  root->state = ThreadState::kRunnable;
+  root->clock[0] = 1;
+  root->body = body;
+  ThreadRec* root_raw = root.get();
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.threads.push_back(std::move(root));
+    s.current = 0;
+  }
+  root_raw->os = std::thread(ThreadMain, &s, root_raw);
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.master_cv.wait(lock, [&] { return s.schedule_done; });
+  }
+  for (auto& rec : s.threads) {
+    if (rec->os.joinable()) rec->os.join();
+  }
+}
+
+// Preemption/staleness cost of forcing prefix trail[0..i-1] plus the
+// incremented alternative at i.
+bool IncrementFitsBudget(const std::vector<Decision>& trail, std::size_t i,
+                         const ModelCheckOptions& opt) {
+  int preemptions = trail[i].kind == kPreempt ? 1 : 0;
+  int stale = trail[i].kind == kRead ? 1 : 0;
+  for (std::size_t j = 0; j < i; ++j) {
+    if (trail[j].chosen == 0) continue;
+    if (trail[j].kind == kPreempt) ++preemptions;
+    if (trail[j].kind == kRead) ++stale;
+  }
+  return preemptions <= opt.max_preemptions && stale <= opt.max_stale_reads;
+}
+
+void FillFailure(const Session& s, ModelCheckResult* result) {
+  result->ok = false;
+  result->failure = s.failure;
+  result->failing_trail = s.failing_trail;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool Routed() { return tl_self != nullptr; }
+
+std::uint64_t AtomicLoad(const void* loc, std::uint64_t seed,
+                         std::memory_order order) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return seed;  // destructor during unwind: no scheduling
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  Location& location = LocationLocked(s, loc, seed);
+  const int latest = static_cast<int>(location.stores.size()) - 1;
+  int min_idx = 0;
+  for (int i = latest; i > 0; --i) {
+    if (VcLeq(location.stores[i].hb, self.clock)) {
+      min_idx = i;  // this store happened-before us: nothing older is visible
+      break;
+    }
+  }
+  min_idx = std::max(min_idx, location.last_seen[self.tid]);
+  min_idx = std::max(min_idx, location.sc_min[self.tid]);
+  if (order == std::memory_order_seq_cst) {
+    min_idx = std::max(min_idx, location.last_sc_store);
+  }
+  min_idx = std::clamp(min_idx, 0, latest);
+  const std::uint32_t options = static_cast<std::uint32_t>(latest - min_idx + 1);
+  const std::uint32_t ordinal = PickLocked(s, options, kRead);
+  const int idx = latest - static_cast<int>(ordinal);
+  const Store& observed = location.stores[static_cast<std::size_t>(idx)];
+  location.last_seen[self.tid] = std::max(location.last_seen[self.tid], idx);
+  self.clock[self.tid]++;
+  if (IsAcquire(order)) {
+    VcJoin(self.clock, observed.rel);
+  } else {
+    VcJoin(self.acq_pending, observed.rel);
+  }
+  return observed.value;
+}
+
+void AtomicStore(void* loc, std::uint64_t seed, std::uint64_t value,
+                 std::memory_order order) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return;
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  Location& location = LocationLocked(s, loc, seed);
+  self.clock[self.tid]++;
+  Store store;
+  store.value = value;
+  store.hb = self.clock;
+  if (IsRelease(order)) {
+    store.rel = self.clock;
+  } else if (self.has_fence_rel) {
+    store.rel = self.fence_rel;  // release fence before a relaxed store
+  }
+  const int idx = static_cast<int>(location.stores.size());
+  location.stores.push_back(store);
+  location.last_seen[self.tid] = idx;
+  location.last_store_by[self.tid] = idx;
+  if (order == std::memory_order_seq_cst) {
+    location.last_sc_store = idx;
+    location.sc_front = std::max(location.sc_front, idx);
+  }
+}
+
+std::uint64_t AtomicRmw(void* loc, std::uint64_t seed, std::memory_order order,
+                        std::uint64_t (*op)(std::uint64_t, std::uint64_t),
+                        std::uint64_t operand) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return seed;
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  Location& location = LocationLocked(s, loc, seed);
+  const Store observed = location.stores.back();  // RMWs read the newest store
+  if (IsAcquire(order)) {
+    VcJoin(self.clock, observed.rel);
+  } else {
+    VcJoin(self.acq_pending, observed.rel);
+  }
+  self.clock[self.tid]++;
+  Store store;
+  store.value = op(observed.value, operand);
+  store.hb = self.clock;
+  if (IsRelease(order)) {
+    store.rel = self.clock;
+  } else if (self.has_fence_rel) {
+    store.rel = self.fence_rel;
+  }
+  VcJoin(store.rel, observed.rel);  // C++20: RMW continues the release sequence
+  const int idx = static_cast<int>(location.stores.size());
+  location.stores.push_back(store);
+  location.last_seen[self.tid] = idx;
+  location.last_store_by[self.tid] = idx;
+  if (order == std::memory_order_seq_cst) {
+    location.last_sc_store = idx;
+    location.sc_front = std::max(location.sc_front, idx);
+  }
+  return observed.value;
+}
+
+bool AtomicCas(void* loc, std::uint64_t seed, std::uint64_t* expected,
+               std::uint64_t desired, std::memory_order success,
+               std::memory_order failure) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) {
+    *expected = seed;
+    return false;
+  }
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  Location& location = LocationLocked(s, loc, seed);
+  const int latest = static_cast<int>(location.stores.size()) - 1;
+  const Store observed = location.stores.back();
+  if (observed.value == *expected) {
+    if (IsAcquire(success)) {
+      VcJoin(self.clock, observed.rel);
+    } else {
+      VcJoin(self.acq_pending, observed.rel);
+    }
+    self.clock[self.tid]++;
+    Store store;
+    store.value = desired;
+    store.hb = self.clock;
+    if (IsRelease(success)) {
+      store.rel = self.clock;
+    } else if (self.has_fence_rel) {
+      store.rel = self.fence_rel;
+    }
+    VcJoin(store.rel, observed.rel);
+    const int idx = static_cast<int>(location.stores.size());
+    location.stores.push_back(store);
+    location.last_seen[self.tid] = idx;
+    location.last_store_by[self.tid] = idx;
+    if (success == std::memory_order_seq_cst) {
+      location.last_sc_store = idx;
+      location.sc_front = std::max(location.sc_front, idx);
+    }
+    return true;
+  }
+  // Failed CAS: a load of the newest store at the failure order.
+  location.last_seen[self.tid] = latest;
+  self.clock[self.tid]++;
+  if (IsAcquire(failure)) {
+    VcJoin(self.clock, observed.rel);
+  } else {
+    VcJoin(self.acq_pending, observed.rel);
+  }
+  *expected = observed.value;
+  return false;
+}
+
+void FenceOp(std::memory_order order) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return;
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  self.clock[self.tid]++;
+  if (IsAcquire(order)) {
+    // Upgrade every earlier relaxed load to acquire strength.
+    VcJoin(self.clock, self.acq_pending);
+  }
+  if (IsRelease(order)) {
+    self.fence_rel = self.clock;
+    self.has_fence_rel = true;
+  }
+  if (order == std::memory_order_seq_cst) {
+    // Consume the published frontier, then publish our own stores: a later
+    // sc fence on another thread is forced past everything we stored.
+    for (auto& [ptr, location] : s.locations) {
+      location.sc_min[self.tid] =
+          std::max(location.sc_min[self.tid], location.sc_front);
+      location.sc_front =
+          std::max(location.sc_front, location.last_store_by[self.tid]);
+    }
+  }
+}
+
+void ResetLocation(void* loc) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return;
+  s.locations.erase(loc);  // address reuse within a schedule: fresh history
+}
+
+void MutexLockOp(void* mutex) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return;
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  MutexState& m = s.mutexes[mutex];
+  while (m.owner != -1) {
+    if (m.owner == self.tid) {
+      FailLocked(s, "recursive lock of non-recursive mc::Mutex");
+    }
+    self.state = ThreadState::kBlockedMutex;
+    self.wait_mutex = mutex;
+    BlockedHandOffLocked(s, lock);
+  }
+  m.owner = self.tid;
+  VcJoin(self.clock, m.clock);  // synchronize with the previous unlock
+  self.clock[self.tid]++;
+}
+
+void MutexUnlockOp(void* mutex) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return;
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  MutexState& m = s.mutexes[mutex];
+  if (m.owner != self.tid) {
+    FailLocked(s, "unlock of an mc::Mutex this thread does not hold");
+  }
+  self.clock[self.tid]++;
+  m.clock = self.clock;
+  m.owner = -1;
+  for (auto& rec : s.threads) {
+    if (rec->state == ThreadState::kBlockedMutex && rec->wait_mutex == mutex) {
+      rec->state = ThreadState::kRunnable;  // they re-contend when scheduled
+    }
+  }
+}
+
+bool MutexTryLockOp(void* mutex) {
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return false;
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  MutexState& m = s.mutexes[mutex];
+  if (m.owner != -1) return false;
+  m.owner = self.tid;
+  VcJoin(self.clock, m.clock);
+  self.clock[self.tid]++;
+  return true;
+}
+
+}  // namespace detail
+
+bool InModelCheck() { return tl_self != nullptr; }
+
+void Yield() {
+  if (tl_self != nullptr) {
+    ThreadRec& self = *tl_self;
+    Session& s = *self.session;
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (s.aborting) return;
+    SchedulePointLocked(s, lock, /*yielding=*/true);
+    return;
+  }
+  std::this_thread::yield();
+}
+
+void Fail(const std::string& message) {
+  if (tl_self != nullptr) {
+    Session& s = *tl_self->session;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      RecordFailureLocked(s, message);
+    }
+    throw AbortSchedule{};
+  }
+  PassthroughFail(message);
+}
+
+Thread::Thread(std::function<void()> fn) {
+  if (tl_self == nullptr) {
+    // Instrumented build, but outside any schedule: plain thread.
+    native_ = new std::thread(
+        [body = std::move(fn)] {
+          try {
+            body();
+          } catch (const PassthroughAbort&) {
+          }
+        });
+    return;
+  }
+  ThreadRec& self = *tl_self;
+  Session& s = *self.session;
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) throw AbortSchedule{};
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  if (s.threads.size() >= static_cast<std::size_t>(kMaxThreads)) {
+    FailLocked(s, "too many mc::Threads in one schedule (max 8)");
+  }
+  auto rec = std::make_unique<ThreadRec>();
+  tid_ = static_cast<int>(s.threads.size());
+  native_ = &s;
+  rec->tid = tid_;
+  rec->session = &s;
+  rec->state = ThreadState::kRunnable;
+  rec->clock = self.clock;
+  rec->clock[tid_]++;  // spawn happens-before everything the child does
+  self.clock[self.tid]++;
+  rec->body = std::move(fn);
+  ThreadRec* raw = rec.get();
+  s.threads.push_back(std::move(rec));
+  raw->os = std::thread(ThreadMain, &s, raw);
+}
+
+Thread::~Thread() {
+  if (!joined_) Join();
+  if (tid_ < 0 && native_ != nullptr) {
+    delete static_cast<std::thread*>(native_);
+    native_ = nullptr;
+  }
+}
+
+void Thread::Join() {
+  if (joined_) return;
+  joined_ = true;
+  if (tid_ < 0) {
+    auto* os_thread = static_cast<std::thread*>(native_);
+    if (os_thread != nullptr && os_thread->joinable()) os_thread->join();
+    return;
+  }
+  Session& s = *static_cast<Session*>(native_);
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborting) return;  // master joins the OS threads
+  SchedulePointLocked(s, lock, /*yielding=*/false);
+  ThreadRec& self = *tl_self;
+  ThreadRec& target = *s.threads[static_cast<std::size_t>(tid_)];
+  while (target.state != ThreadState::kDone) {
+    self.state = ThreadState::kBlockedJoin;
+    self.wait_join = tid_;
+    BlockedHandOffLocked(s, lock);
+  }
+  VcJoin(self.clock, target.clock);  // everything the child did is visible
+  self.clock[self.tid]++;
+}
+
+ModelCheckResult Check(const std::function<void()>& body,
+                       const ModelCheckOptions& options) {
+  static std::mutex check_mu;  // one schedule exploration at a time
+  std::lock_guard<std::mutex> outer(check_mu);
+  ModelCheckResult result;
+
+  auto run = [&](Mode mode, const std::vector<std::uint32_t>& forced,
+                 std::uint64_t seed, std::vector<Decision>* trail_out) {
+    Session s(options, mode);
+    s.forced = forced;
+    if (mode == Mode::kRandom) s.rng.seed(seed);
+    RunOneSchedule(s, body);
+    ++result.schedules_explored;
+    if (s.failed) FillFailure(s, &result);
+    if (trail_out != nullptr) *trail_out = std::move(s.trail);
+    return !s.failed;
+  };
+
+  if (!options.replay_trail.empty()) {
+    run(Mode::kReplayTrail, options.replay_trail, 0, nullptr);
+    return result;
+  }
+  if (options.replay_seed != 0) {
+    if (!run(Mode::kRandom, {}, options.replay_seed, nullptr)) {
+      result.failing_seed = options.replay_seed;
+    }
+    return result;
+  }
+
+  // Phase 1: bounded exhaustive DFS.
+  std::vector<std::uint32_t> forced;
+  std::vector<Decision> trail;
+  while (result.schedules_explored < options.max_exhaustive_schedules) {
+    if (!run(Mode::kExhaustive, forced, 0, &trail)) return result;
+    // Backtrack: increment the rightmost decision with an unexplored,
+    // within-budget alternative; defaults regenerate the suffix.
+    std::size_t i = trail.size();
+    while (i > 0) {
+      --i;
+      if (trail[i].chosen + 1 < trail[i].options &&
+          IncrementFitsBudget(trail, i, options)) {
+        break;
+      }
+      if (i == 0) {
+        result.exhaustive_complete = true;
+        break;
+      }
+    }
+    if (result.exhaustive_complete || trail.empty()) {
+      result.exhaustive_complete = true;
+      break;
+    }
+    forced.clear();
+    for (std::size_t j = 0; j < i; ++j) forced.push_back(trail[j].chosen);
+    forced.push_back(trail[i].chosen + 1);
+  }
+
+  // Phase 2: seeded random walk, no budgets.
+  for (std::uint64_t k = 0; k < options.random_schedules; ++k) {
+    const std::uint64_t seed = options.random_seed + k;
+    if (!run(Mode::kRandom, {}, seed, nullptr)) {
+      result.failing_seed = seed;
+      return result;
+    }
+  }
+  return result;
+}
+
+#else  // !SATFR_MODEL_CHECK — passthrough: one real run, real threads.
+
+bool InModelCheck() { return false; }
+
+void Yield() { std::this_thread::yield(); }
+
+void Fail(const std::string& message) { PassthroughFail(message); }
+
+Thread::Thread(std::function<void()> fn) {
+  native_ = new std::thread(
+      [body = std::move(fn)] {
+        try {
+          body();
+        } catch (const PassthroughAbort&) {
+        }
+      });
+}
+
+Thread::~Thread() {
+  if (!joined_) Join();
+  delete static_cast<std::thread*>(native_);
+}
+
+void Thread::Join() {
+  if (joined_) return;
+  joined_ = true;
+  auto* os_thread = static_cast<std::thread*>(native_);
+  if (os_thread != nullptr && os_thread->joinable()) os_thread->join();
+}
+
+ModelCheckResult Check(const std::function<void()>& body,
+                       const ModelCheckOptions& options) {
+  (void)options;
+  ModelCheckResult result;
+  {
+    std::lock_guard<std::mutex> lock(g_passthrough_mu);
+    g_passthrough_active = true;
+    g_passthrough_failed = false;
+    g_passthrough_failure.clear();
+  }
+  try {
+    body();
+  } catch (const PassthroughAbort&) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_passthrough_mu);
+    g_passthrough_active = false;
+    result.ok = !g_passthrough_failed;
+    result.failure = g_passthrough_failure;
+  }
+  result.schedules_explored = 1;
+  return result;
+}
+
+#endif  // SATFR_MODEL_CHECK
+
+}  // namespace satfr::mc

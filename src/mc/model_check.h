@@ -1,0 +1,133 @@
+// Deterministic concurrency model checker for the lock-free layers
+// (DESIGN.md §13).
+//
+// mc::Check runs a test body — which builds the structure under test,
+// spawns mc::Thread workers that hammer it through the mc::Atomic /
+// mc::Fence / mc::Mutex shim (src/mc/shim.h), joins them, and asserts
+// invariants with MC_CHECK — under a cooperative scheduler that owns every
+// interleaving decision:
+//
+//   * which thread executes the next shim operation (context switches are
+//     only possible at shim operations — everything between two of them is
+//     invisible to other threads, exactly the granularity that matters for
+//     code whose shared state is all atomics), and
+//   * which store a load observes, per a vector-clock model of the C++11
+//     memory semantics: relaxed loads may return any coherent stale value,
+//     acquire loads synchronize with the release (or release-fence-backed)
+//     stores they read, seq_cst fences and operations are totally ordered
+//     through a published store frontier. See model_check.cpp for the exact
+//     rules and the (documented, slightly conservative) simplifications.
+//
+// Exploration is exhaustive DFS over both decision kinds up to a
+// preemption/stale-read bound, then seeded random walk beyond it. The
+// decision sequence of every schedule is recorded, so a failure is
+// replayable two ways: re-run the failing random seed, or feed the printed
+// decision trail back through ModelCheckOptions::replay_trail. Both re-run
+// the identical interleaving.
+//
+// Without the SATFR_MODEL_CHECK build option the same API degrades to a
+// plain one-shot run (real std::threads, real atomics): the litmus suite
+// still executes as an ordinary smoke test and the shim compiles to
+// std::atomic with zero overhead.
+#ifndef SATFR_MC_MODEL_CHECK_H_
+#define SATFR_MC_MODEL_CHECK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace satfr::mc {
+
+struct ModelCheckOptions {
+  /// Exhaustive phase: maximum forced context switches away from a runnable
+  /// thread per schedule (switches at Yield(), blocks, and thread exits are
+  /// free). 0 still explores every yield-point interleaving.
+  int max_preemptions = 2;
+  /// Exhaustive phase: maximum stale-read choices (a load returning
+  /// anything but the newest coherent store) per schedule.
+  int max_stale_reads = 3;
+  /// Hard cap on exhaustively enumerated schedules; when hit,
+  /// ModelCheckResult::exhaustive_complete stays false.
+  std::uint64_t max_exhaustive_schedules = 20000;
+  /// Random-walk phase: schedules beyond the bound (uniform choices, no
+  /// preemption/staleness budget), seeded random_seed, random_seed + 1, ...
+  std::uint64_t random_schedules = 2000;
+  std::uint64_t random_seed = 1;
+  /// Per-schedule step budget; exceeding it fails the schedule as a
+  /// livelock (a legitimate spin loop must Yield(), which reschedules).
+  std::uint64_t max_steps = 200000;
+  /// Non-empty: skip exploration and replay exactly this decision trail.
+  std::vector<std::uint32_t> replay_trail;
+  /// Nonzero: skip exploration and replay exactly this random seed.
+  std::uint64_t replay_seed = 0;
+};
+
+struct ModelCheckResult {
+  bool ok = true;
+  /// True when the DFS exhausted every schedule within the bounds (false
+  /// when max_exhaustive_schedules truncated it).
+  bool exhaustive_complete = false;
+  std::uint64_t schedules_explored = 0;
+  /// First failure: MC_CHECK message, deadlock, or step-budget livelock.
+  std::string failure;
+  /// Decision trail of the failing schedule (replay_trail input format).
+  std::vector<std::uint32_t> failing_trail;
+  /// Seed of the failing random schedule; 0 when the exhaustive phase (or a
+  /// trail replay) found it.
+  std::uint64_t failing_seed = 0;
+
+  /// Human-readable failure block including both replay recipes.
+  std::string FailureSummary() const;
+};
+
+/// Explores interleavings of `body`. The body is re-invoked once per
+/// schedule and must be self-contained: build state, spawn mc::Threads,
+/// join, assert. Returns after the first failing schedule or when the
+/// exploration budget is spent.
+ModelCheckResult Check(const std::function<void()>& body,
+                       const ModelCheckOptions& options = ModelCheckOptions());
+
+/// A thread participating in the model-checked schedule. Under
+/// SATFR_MODEL_CHECK its every shim operation is a scheduler decision
+/// point; otherwise it is a plain std::thread.
+class Thread {
+ public:
+  explicit Thread(std::function<void()> fn);
+  ~Thread();
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  void Join();
+
+ private:
+  bool joined_ = false;
+  int tid_ = -1;       // model-check mode
+  void* native_ = nullptr;  // passthrough mode: owned std::thread
+};
+
+/// Fails the current schedule (throws through the body; Check catches it
+/// and records the decision trail). Outside a Check body it records the
+/// failure for the enclosing passthrough Check, or aborts if there is none.
+[[noreturn]] void Fail(const std::string& message);
+
+/// True while executing inside a model-checked schedule.
+bool InModelCheck();
+
+/// Cooperative reschedule hint. Spin loops MUST call this (via the shim's
+/// mc::Yield) so the scheduler hands the processor to the thread being
+/// waited on; under passthrough it is std::this_thread::yield().
+void Yield();
+
+}  // namespace satfr::mc
+
+/// Schedule-failing assertion for litmus bodies. Evaluates `cond` once.
+#define MC_CHECK(cond, message)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::satfr::mc::Fail(std::string("MC_CHECK failed: ") + #cond +   \
+                        " — " + (message));                          \
+    }                                                                \
+  } while (0)
+
+#endif  // SATFR_MC_MODEL_CHECK_H_

@@ -7,7 +7,8 @@ namespace satfr::obs {
 namespace {
 
 std::uint64_t NextRegistryId() {
-  static std::atomic<std::uint64_t> next{1};
+  static mc::Atomic<std::uint64_t> next{1};
+  // relaxed: the id only needs to be unique; it orders nothing.
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -51,7 +52,7 @@ MetricsRegistry::~MetricsRegistry() = default;
 
 MetricId MetricsRegistry::Register(const std::string& name, MetricKind kind,
                                    std::uint32_t slots_needed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   for (const Entry& e : entries_) {
     if (e.name == name) {
       // Same name, same kind: idempotent registration (several subsystems
@@ -81,7 +82,7 @@ MetricId MetricsRegistry::Histogram(const std::string& name) {
 }
 
 MetricId MetricsRegistry::Gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
     if (gauge_names_[i] == name) {
       return MetricId{static_cast<std::uint32_t>(i) | MetricId::kGaugeBit};
@@ -114,7 +115,7 @@ MetricsRegistry::Shard* MetricsRegistry::ShardForThisThread() {
   }
   Shard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mc::MutexLock lock(mutex_);
     shards_.push_back(std::make_unique<Shard>());
     shard = shards_.back().get();
   }
@@ -125,6 +126,8 @@ MetricsRegistry::Shard* MetricsRegistry::ShardForThisThread() {
 
 void MetricsRegistry::Add(MetricId id, std::uint64_t delta) {
   if (!id.valid() || (id.slot & MetricId::kGaugeBit) != 0) return;
+  // relaxed: the slot is this thread's private tally; readers fold it at
+  // quiescent points (Snapshot after join, or as a statistical reading).
   ShardForThisThread()->slots[id.slot].fetch_add(delta,
                                                  std::memory_order_relaxed);
 }
@@ -132,21 +135,28 @@ void MetricsRegistry::Add(MetricId id, std::uint64_t delta) {
 void MetricsRegistry::Observe(MetricId id, std::uint64_t value) {
   if (!id.valid() || (id.slot & MetricId::kGaugeBit) != 0) return;
   const std::uint32_t slot = id.slot + BucketFor(value);
+  // relaxed: same single-writer tally argument as Add.
   ShardForThisThread()->slots[slot].fetch_add(1, std::memory_order_relaxed);
 }
 
 void MetricsRegistry::SetGauge(MetricId id, std::int64_t value) {
   if (!id.valid() || (id.slot & MetricId::kGaugeBit) == 0) return;
   const std::uint32_t index = id.slot & ~MetricId::kGaugeBit;
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   if (index < gauges_.size()) {
+    // relaxed: the mutex already orders racing setters (last unlock wins);
+    // lock-free snapshot readers only need *a* recent level, not ordering.
     gauges_[index].store(value, std::memory_order_relaxed);
   }
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mutex_);
+  // All loads below are relaxed: a snapshot is a statistical reading, not
+  // a synchronization point. Exactness is only promised at quiescent
+  // points (writers joined), where happens-before already forces fresh
+  // values — verified by the McMetricsLitmus conservation litmus.
+  mc::MutexLock lock(mutex_);
   for (const Entry& e : entries_) {
     MetricSnapshot m;
     m.name = e.name;

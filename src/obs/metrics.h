@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "mc/annotations.h"
+#include "mc/shim.h"
 #include "obs/json.h"
 
 namespace satfr::obs {
@@ -112,7 +113,9 @@ class MetricsRegistry {
 
  private:
   struct Shard {
-    std::atomic<std::uint64_t> slots[kShardSlots];
+    // relaxed everywhere: slots are statistics, each written by one thread
+    // and only folded together under the registry mutex in Snapshot.
+    mc::Atomic<std::uint64_t> slots[kShardSlots];
     Shard() {
       for (auto& s : slots) s.store(0, std::memory_order_relaxed);
     }
@@ -124,19 +127,21 @@ class MetricsRegistry {
     std::uint32_t first_slot;  // histograms span kHistogramBuckets slots
   };
 
-  Shard* ShardForThisThread();
+  Shard* ShardForThisThread() SATFR_EXCLUDES(mutex_);
   MetricId Register(const std::string& name, MetricKind kind,
-                    std::uint32_t slots_needed);
+                    std::uint32_t slots_needed) SATFR_EXCLUDES(mutex_);
 
   const std::uint64_t id_;  // process-unique, never reused
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
+  mutable mc::Mutex mutex_;
+  std::vector<Entry> entries_ SATFR_GUARDED_BY(mutex_);
   // deque: gauges are registered while other threads store through stable
-  // references, and deque growth never relocates existing elements.
-  std::deque<std::atomic<std::int64_t>> gauges_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::uint32_t next_slot_ = 0;
+  // references, and deque growth never relocates existing elements. The
+  // container is guarded; the atomics inside are written under the mutex
+  // but may be read lock-free through stable references.
+  std::deque<mc::Atomic<std::int64_t>> gauges_ SATFR_GUARDED_BY(mutex_);
+  std::vector<std::string> gauge_names_ SATFR_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_ SATFR_GUARDED_BY(mutex_);
+  std::uint32_t next_slot_ SATFR_GUARDED_BY(mutex_) = 0;
 };
 
 /// The process-wide registry all subsystems share. Always available;

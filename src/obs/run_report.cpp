@@ -85,6 +85,12 @@ JsonValue RunRecord::ToJson() const {
   exchange.emplace_back("imported", JsonValue(exchange_imported));
   exchange.emplace_back("dropped_full", JsonValue(exchange_dropped_full));
   exchange.emplace_back("torn_reads", JsonValue(exchange_torn_reads));
+  exchange.emplace_back("cursor_advanced", JsonValue(exchange_cursor_advanced));
+  exchange.emplace_back("self_skipped", JsonValue(exchange_self_skipped));
+  exchange.emplace_back("incompatible_skipped",
+                        JsonValue(exchange_incompatible_skipped));
+  exchange.emplace_back("eviction_skipped",
+                        JsonValue(exchange_eviction_skipped));
   cube.emplace_back("exchange", JsonValue(std::move(exchange)));
   o.emplace_back("cube", JsonValue(std::move(cube)));
 
@@ -153,6 +159,11 @@ bool RunRecord::FromJson(const JsonValue& value, RunRecord* record,
       r.exchange_imported = GetU64(*exchange, "imported");
       r.exchange_dropped_full = GetU64(*exchange, "dropped_full");
       r.exchange_torn_reads = GetU64(*exchange, "torn_reads");
+      r.exchange_cursor_advanced = GetU64(*exchange, "cursor_advanced");
+      r.exchange_self_skipped = GetU64(*exchange, "self_skipped");
+      r.exchange_incompatible_skipped =
+          GetU64(*exchange, "incompatible_skipped");
+      r.exchange_eviction_skipped = GetU64(*exchange, "eviction_skipped");
     }
   }
   if (const JsonValue* observed = value.Find("observed")) {
@@ -177,14 +188,14 @@ RunReportWriter::RunReportWriter(const std::string& path)
 void RunReportWriter::Append(const RunRecord& record) {
   if (!ok_) return;
   const std::string line = record.ToJson().Dump();
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   out_ << line << '\n';
   out_.flush();
   ++records_;
 }
 
 std::size_t RunReportWriter::records_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   return records_;
 }
 
@@ -221,7 +232,7 @@ bool LoadRunReport(const std::string& path, std::vector<RunRecord>* records,
 }
 
 namespace {
-std::atomic<RunReportWriter*> g_report{nullptr};
+mc::Atomic<RunReportWriter*> g_report{nullptr};
 }  // namespace
 
 RunReportWriter* GlobalReport() {

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "mc/annotations.h"
+#include "mc/shim.h"
 #include "obs/json.h"
 #include "sat/solver.h"
 
@@ -73,6 +75,16 @@ struct RunRecord {
   std::uint64_t exchange_imported = 0;
   std::uint64_t exchange_dropped_full = 0;
   std::uint64_t exchange_torn_reads = 0;
+  // Reader-side conservation ledger (ClauseExchange::Totals). The satlint
+  // exchange-conservation pass asserts
+  //   exchange_cursor_advanced == exchange_imported + exchange_torn_reads
+  //       + exchange_self_skipped + exchange_incompatible_skipped
+  //       + exchange_eviction_skipped
+  // on every record that carries exchange traffic.
+  std::uint64_t exchange_cursor_advanced = 0;
+  std::uint64_t exchange_self_skipped = 0;
+  std::uint64_t exchange_incompatible_skipped = 0;
+  std::uint64_t exchange_eviction_skipped = 0;
 
   // ---- observer cross-check (present iff an observer was attached) ----
   bool has_observed = false;
@@ -114,9 +126,9 @@ class RunReportWriter {
  private:
   std::string path_;
   bool ok_ = false;
-  mutable std::mutex mutex_;
-  std::ofstream out_;
-  std::size_t records_ = 0;
+  mutable mc::Mutex mutex_;
+  std::ofstream out_ SATFR_GUARDED_BY(mutex_);
+  std::size_t records_ SATFR_GUARDED_BY(mutex_) = 0;
 };
 
 /// Loads a JSONL run report. Returns false + `error` on the first

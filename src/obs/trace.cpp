@@ -12,7 +12,7 @@ std::uint64_t TraceWriter::NowMicros() const {
 }
 
 std::uint64_t TraceWriter::CurrentTid() {
-  static std::atomic<std::uint64_t> next{1};
+  static mc::Atomic<std::uint64_t> next{1};
   thread_local const std::uint64_t tid =
       next.fetch_add(1, std::memory_order_relaxed);
   return tid;
@@ -29,7 +29,7 @@ void TraceWriter::CompleteEvent(std::string name, std::string category,
   e.ts_us = start_us;
   e.dur_us = dur_us;
   e.args = std::move(args);
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   events_.push_back(std::move(e));
 }
 
@@ -43,7 +43,7 @@ void TraceWriter::InstantEvent(std::string name, std::string category,
   e.tid = tid;
   e.ts_us = ts_us;
   e.args = std::move(args);
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   events_.push_back(std::move(e));
 }
 
@@ -52,17 +52,17 @@ void TraceWriter::SetThreadName(std::uint64_t tid, std::string name) {
   e.phase = 'M';
   e.name = std::move(name);
   e.tid = tid;
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   events_.push_back(std::move(e));
 }
 
 std::size_t TraceWriter::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   return events_.size();
 }
 
 JsonValue TraceWriter::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  mc::MutexLock lock(mutex_);
   JsonArray events;
   events.reserve(events_.size());
   for (const Event& e : events_) {
@@ -105,7 +105,7 @@ bool TraceWriter::WriteFile(const std::string& path,
 }
 
 namespace {
-std::atomic<TraceWriter*> g_trace{nullptr};
+mc::Atomic<TraceWriter*> g_trace{nullptr};
 }  // namespace
 
 TraceWriter* GlobalTrace() {

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "mc/annotations.h"
+#include "mc/shim.h"
 #include "common/stopwatch.h"
 #include "obs/json.h"
 
@@ -77,9 +79,9 @@ class TraceWriter {
     TraceArgs args;
   };
 
-  mutable std::mutex mutex_;
+  mutable mc::Mutex mutex_;
   Stopwatch epoch_;
-  std::vector<Event> events_;
+  std::vector<Event> events_ SATFR_GUARDED_BY(mutex_);
 };
 
 /// RAII complete-event span. Null writer => every operation is a no-op, so

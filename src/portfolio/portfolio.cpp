@@ -31,7 +31,7 @@ namespace {
 flow::DetailedRouteResult RunWalkSatStrategy(
     const graph::Graph& conflict_graph, int num_tracks,
     const Strategy& strategy, double timeout_seconds,
-    const std::atomic<bool>* stop) {
+    const mc::Atomic<bool>* stop) {
   flow::DetailedRouteResult result;
   Stopwatch watch;
   const auto sequence = symmetry::SymmetrySequence(
@@ -70,7 +70,7 @@ flow::DetailedRouteResult RunCubeStrategy(const graph::Graph& conflict_graph,
                                           int num_tracks,
                                           const Strategy& strategy,
                                           double timeout_seconds,
-                                          const std::atomic<bool>* stop,
+                                          const mc::Atomic<bool>* stop,
                                           const std::string& run_label) {
   cube::CubeSolveOptions options;
   options.pool.num_workers = strategy.cube_workers;
@@ -183,8 +183,8 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
   }
 
   Stopwatch stopwatch;
-  std::atomic<bool> stop{false};
-  std::mutex winner_mutex;
+  mc::Atomic<bool> stop{false};
+  mc::Mutex winner_mutex;
   std::vector<std::thread> threads;
   threads.reserve(strategies.size());
 
@@ -227,7 +227,7 @@ PortfolioResult RunPortfolio(const graph::Graph& conflict_graph,
       strategy_span.AddArg("verdict",
                            obs::JsonValue(sat::ToString(result.status)));
       strategy_span.End();
-      std::lock_guard<std::mutex> lock(winner_mutex);
+      mc::MutexLock lock(winner_mutex);
       out.statuses[s] = result.status;
       out.strategy_stats[s] = result.solver_stats;
       if (result.status != sat::SolveResult::kUnknown && out.winner == -1) {

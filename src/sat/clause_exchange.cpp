@@ -28,8 +28,8 @@ ClauseExchange::ClauseExchange(std::size_t capacity)
       slot_mask_(capacity_ - 1),
       slots_(new Slot[capacity_]),
       dedup_mask_(2 * capacity_ - 1),
-      dedup_hash_(new std::atomic<std::uint64_t>[2 * capacity_]),
-      dedup_ticket_(new std::atomic<std::uint64_t>[2 * capacity_]) {
+      dedup_hash_(new mc::Atomic<std::uint64_t>[2 * capacity_]),
+      dedup_ticket_(new mc::Atomic<std::uint64_t>[2 * capacity_]) {
   for (std::size_t i = 0; i < 2 * capacity_; ++i) {
     dedup_hash_[i].store(0, std::memory_order_relaxed);
     dedup_ticket_[i].store(0, std::memory_order_relaxed);  // 0 = empty
@@ -40,6 +40,10 @@ int ClauseExchange::Register(std::uint64_t full_key, std::uint64_t unit_key) {
   int id = num_members_.load(std::memory_order_relaxed);
   do {
     if (id >= kMaxParticipants) return -1;
+    // acq_rel: claiming an id both publishes the previous registrant's key
+    // initialization (release) and makes it visible to us (acquire) so
+    // Collect's source-key reads see fully initialized members. relaxed on
+    // failure: a lost race carries no payload.
   } while (!num_members_.compare_exchange_weak(id, id + 1,
                                                std::memory_order_acq_rel,
                                                std::memory_order_relaxed));
@@ -100,6 +104,8 @@ void ClauseExchange::Publish(int participant, const Clause& clause,
     }
   }
 
+  // relaxed: the ticket only needs to be unique; all publication ordering
+  // rides on the slot's seqlock stamp protocol below.
   const std::uint64_t ticket =
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   dedup_hash_[di].store(hash, std::memory_order_relaxed);
@@ -113,7 +119,7 @@ void ClauseExchange::Publish(int participant, const Clause& clause,
   const std::uint64_t prior_stamp =
       ticket >= capacity_ ? StampComplete(ticket - capacity_) : 0;
   while (slot.stamp.load(std::memory_order_acquire) != prior_stamp) {
-    std::this_thread::yield();
+    mc::Yield();
   }
   if (ticket >= capacity_) evicted_.fetch_add(1, std::memory_order_relaxed);
 
@@ -121,7 +127,7 @@ void ClauseExchange::Publish(int participant, const Clause& clause,
   // observes a payload word below also observes the odd stamp, store the
   // payload relaxed, then release the even "complete" stamp.
   slot.stamp.store(StampWriting(ticket), std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
+  mc::Fence(std::memory_order_release);
   slot.meta.store(PackMeta(clause.size(), lbd, participant),
                   std::memory_order_relaxed);
   for (std::size_t i = 0; i < clause.size(); ++i) {
@@ -139,11 +145,20 @@ std::size_t ClauseExchange::Collect(int participant,
     return 0;
   }
   Member& m = members_[participant];
+  // relaxed: the head is a moving target anyway; any recent value yields a
+  // correct (possibly slightly short) collection window.
   const std::uint64_t head = next_seq_.load(std::memory_order_relaxed);
+  // relaxed: the cursor is owned by this participant's thread; only the
+  // Register seeding writes it from elsewhere, ordered by thread start.
   std::uint64_t cursor = m.cursor.load(std::memory_order_relaxed);
+  const std::uint64_t start_cursor = cursor;
+  std::uint64_t eviction_skips = 0;
+  std::uint64_t self_skips = 0;
+  std::uint64_t incompatible_skips = 0;
   // Tickets more than a full ring behind the head are guaranteed
   // overwritten; skip them wholesale instead of probing each stamp.
   if (head > capacity_ && cursor < head - capacity_) {
+    eviction_skips += (head - capacity_) - cursor;
     cursor = head - capacity_;
   }
 
@@ -160,7 +175,10 @@ std::size_t ClauseExchange::Collect(int participant,
       // preserved.
       break;
     }
-    if (stamp > want) continue;  // evicted before we got to it
+    if (stamp > want) {
+      ++eviction_skips;  // evicted before we got to it
+      continue;
+    }
     // Seqlock read: copy the payload, then re-check the stamp past an
     // acquire fence. If a lapping writer overwrote the slot mid-copy, the
     // fence guarantees its odd stamp is visible now and the copy is
@@ -170,18 +188,24 @@ std::size_t ClauseExchange::Collect(int participant,
     for (std::size_t i = 0; i < size; ++i) {
       raw[i] = slot.lits[i].load(std::memory_order_relaxed);
     }
-    std::atomic_thread_fence(std::memory_order_acquire);
+    mc::Fence(std::memory_order_acquire);
     if (slot.stamp.load(std::memory_order_relaxed) != want) {
       torn_reads_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
 
     const int source = static_cast<int>((meta >> 24) & 0xffff);
-    if (source == participant) continue;
+    if (source == participant) {
+      ++self_skips;
+      continue;
+    }
     const Member& src = members_[source];
     const bool full_match = src.full_key == m.full_key;
     const bool unit_match = size == 1 && src.unit_key == m.unit_key;
-    if (!full_match && !unit_match) continue;
+    if (!full_match && !unit_match) {
+      ++incompatible_skips;
+      continue;
+    }
 
     SharedClause shared;
     shared.lbd = static_cast<std::uint32_t>((meta >> 8) & 0xffff);
@@ -193,8 +217,21 @@ std::size_t ClauseExchange::Collect(int participant,
     out->push_back(std::move(shared));
     ++appended;
   }
+  // relaxed: single-owner cursor (see the load above); counters are
+  // statistics folded together only at quiescent points.
   m.cursor.store(cursor, std::memory_order_relaxed);
   collected_.fetch_add(appended, std::memory_order_relaxed);
+  cursor_advanced_.fetch_add(cursor - start_cursor, std::memory_order_relaxed);
+  if (eviction_skips != 0) {
+    eviction_skipped_.fetch_add(eviction_skips, std::memory_order_relaxed);
+  }
+  if (self_skips != 0) {
+    self_skipped_.fetch_add(self_skips, std::memory_order_relaxed);
+  }
+  if (incompatible_skips != 0) {
+    incompatible_skipped_.fetch_add(incompatible_skips,
+                                    std::memory_order_relaxed);
+  }
   return appended;
 }
 
@@ -206,6 +243,11 @@ ClauseExchange::Totals ClauseExchange::totals() const {
   t.collected = collected_.load(std::memory_order_relaxed);
   t.oversize_dropped = oversize_dropped_.load(std::memory_order_relaxed);
   t.torn_reads = torn_reads_.load(std::memory_order_relaxed);
+  t.cursor_advanced = cursor_advanced_.load(std::memory_order_relaxed);
+  t.self_skipped = self_skipped_.load(std::memory_order_relaxed);
+  t.incompatible_skipped =
+      incompatible_skipped_.load(std::memory_order_relaxed);
+  t.eviction_skipped = eviction_skipped_.load(std::memory_order_relaxed);
   return t;
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "mc/shim.h"
 #include "sat/types.h"
 
 namespace satfr::sat {
@@ -92,6 +93,23 @@ class ClauseExchange {
     /// validation tripping; each is also an eviction from the reader's
     /// point of view).
     std::uint64_t torn_reads = 0;
+    // Reader-side conservation ledger, summed over all participants. Every
+    // ticket a cursor advances past lands in exactly one bucket, so
+    //   cursor_advanced ==
+    //       collected + torn_reads + self_skipped + incompatible_skipped
+    //       + eviction_skipped
+    // holds at any quiescent point (asserted by the satlint
+    // exchange-conservation pass over run reports, and by the model-check
+    // litmus suite under concurrency).
+    /// Tickets all cursors moved past in Collect.
+    std::uint64_t cursor_advanced = 0;
+    /// Tickets skipped because the participant published them itself.
+    std::uint64_t self_skipped = 0;
+    /// Tickets skipped because the numbering keys matched neither way.
+    std::uint64_t incompatible_skipped = 0;
+    /// Tickets skipped because the ring evicted them before the cursor
+    /// arrived (stamp already newer, or a wholesale lap-behind jump).
+    std::uint64_t eviction_skipped = 0;
   };
 
   explicit ClauseExchange(std::size_t capacity = kDefaultCapacity);
@@ -141,11 +159,11 @@ class ClauseExchange {
   }
 
   struct Slot {
-    std::atomic<std::uint64_t> stamp{0};
+    mc::Atomic<std::uint64_t> stamp{0};
     // size(8) | lbd(16) | source(16), packed so one relaxed load pairs with
     // the literal array.
-    std::atomic<std::uint64_t> meta{0};
-    std::atomic<std::uint32_t> lits[kMaxSharedLits];
+    mc::Atomic<std::uint64_t> meta{0};
+    mc::Atomic<std::uint32_t> lits[kMaxSharedLits];
   };
 
   struct Member {
@@ -153,7 +171,7 @@ class ClauseExchange {
     std::uint64_t unit_key = 0;
     // First ticket not yet collected. Owned by the participant's thread;
     // atomic so Register (possibly another thread) can seed it.
-    std::atomic<std::uint64_t> cursor{0};
+    mc::Atomic<std::uint64_t> cursor{0};
   };
 
   const std::size_t capacity_;  // power of two
@@ -162,21 +180,25 @@ class ClauseExchange {
 
   // Approximate live-window dedup: hash -> last publishing ticket.
   const std::size_t dedup_mask_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> dedup_hash_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> dedup_ticket_;
+  std::unique_ptr<mc::Atomic<std::uint64_t>[]> dedup_hash_;
+  std::unique_ptr<mc::Atomic<std::uint64_t>[]> dedup_ticket_;
 
   Member members_[kMaxParticipants];
-  std::atomic<int> num_members_{0};
+  mc::Atomic<int> num_members_{0};
 
   // Next ticket to hand out == number of publishes accepted so far.
-  std::atomic<std::uint64_t> next_seq_{0};
+  mc::Atomic<std::uint64_t> next_seq_{0};
 
-  std::atomic<std::uint64_t> published_{0};
-  std::atomic<std::uint64_t> duplicates_dropped_{0};
-  std::atomic<std::uint64_t> evicted_{0};
-  std::atomic<std::uint64_t> collected_{0};
-  std::atomic<std::uint64_t> oversize_dropped_{0};
-  std::atomic<std::uint64_t> torn_reads_{0};
+  mc::Atomic<std::uint64_t> published_{0};
+  mc::Atomic<std::uint64_t> duplicates_dropped_{0};
+  mc::Atomic<std::uint64_t> evicted_{0};
+  mc::Atomic<std::uint64_t> collected_{0};
+  mc::Atomic<std::uint64_t> oversize_dropped_{0};
+  mc::Atomic<std::uint64_t> torn_reads_{0};
+  mc::Atomic<std::uint64_t> cursor_advanced_{0};
+  mc::Atomic<std::uint64_t> self_skipped_{0};
+  mc::Atomic<std::uint64_t> incompatible_skipped_{0};
+  mc::Atomic<std::uint64_t> eviction_skipped_{0};
 };
 
 }  // namespace satfr::sat

@@ -1309,13 +1309,16 @@ double Solver::Luby(double y, int i) {
 }
 
 LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
-                     const std::atomic<bool>* stop) {
+                     const mc::Atomic<bool>* stop) {
   std::int64_t conflicts_here = 0;
-  // Phase timing is observer-gated: without one attached, the loop pays a
-  // single predictable branch per pass and zero clock reads.
-  const bool timed = observer_ != nullptr;
   Clause learnt;
   for (;;) {
+    // Phase timing is observer-gated: without one attached, the loop pays
+    // a couple of predictable branches per pass and zero clock reads.
+    // Re-evaluated every pass (not hoisted) so an observer that detaches
+    // itself mid-solve — e.g. from its own OnRestartSample callback —
+    // stops the phase clocks immediately instead of at the next restart.
+    const bool timed = observer_ != nullptr;
     ClauseRef confl;
     if (timed) {
       Stopwatch bcp_watch;
@@ -1415,7 +1418,7 @@ LBool Solver::Search(std::int64_t conflict_budget, const Deadline& deadline,
   }
 }
 
-SolveResult Solver::Solve(Deadline deadline, const std::atomic<bool>* stop) {
+SolveResult Solver::Solve(Deadline deadline, const mc::Atomic<bool>* stop) {
   return SolveWithAssumptions({}, deadline, stop);
 }
 
@@ -1722,7 +1725,7 @@ bool Solver::CheckInvariants(std::string* error) const {
 
 SolveResult Solver::SolveWithAssumptions(const std::vector<Lit>& assumptions,
                                          Deadline deadline,
-                                         const std::atomic<bool>* stop) {
+                                         const mc::Atomic<bool>* stop) {
   Stopwatch stopwatch;
   model_.clear();
   budget_exhausted_ = false;

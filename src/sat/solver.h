@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "mc/shim.h"
 #include "common/stopwatch.h"
 #include "sat/cnf.h"
 #include "sat/types.h"
@@ -216,8 +217,15 @@ struct SolverRestartSample {
 /// every restart boundary plus once when a solve call returns (the partial
 /// window since the last restart, final_flush = true). Attaching an
 /// observer also turns on phase timing (see SolverStats::bcp_seconds).
-/// Callbacks run on the solving thread; implementations must not call back
-/// into the solver.
+/// Callbacks run on the solving thread; implementations must not mutate
+/// the solver, with two sanctioned exceptions: reading const state
+/// (stats(), TierSizes()) and calling SetObserver(nullptr) to detach
+/// mid-solve. Detaching from a callback takes effect immediately — phase
+/// timing stops with the current search pass and no further samples are
+/// emitted. Because the solver resets the sample baseline *before*
+/// invoking the callback, stats() read inside the callback is a consistent
+/// cut: it equals the attach-time baseline plus every window delivered so
+/// far (including the one being delivered).
 class SolverObserver {
  public:
   virtual ~SolverObserver() = default;
@@ -256,7 +264,7 @@ class Solver {
   /// Runs the CDCL search. `deadline` bounds wall-clock time; `stop`, when
   /// non-null, aborts as soon as it becomes true (portfolio cancellation).
   SolveResult Solve(Deadline deadline = Deadline(),
-                    const std::atomic<bool>* stop = nullptr);
+                    const mc::Atomic<bool>* stop = nullptr);
 
   /// Incremental interface: solves under the given assumption literals.
   /// kUnsat means "unsatisfiable under these assumptions" — unless okay()
@@ -264,7 +272,7 @@ class Solver {
   /// with different assumptions while keeping everything it has learned.
   SolveResult SolveWithAssumptions(const std::vector<Lit>& assumptions,
                                    Deadline deadline = Deadline(),
-                                   const std::atomic<bool>* stop = nullptr);
+                                   const mc::Atomic<bool>* stop = nullptr);
 
   /// Model of the last kSat answer, indexed by variable.
   const std::vector<bool>& model() const { return model_; }
@@ -542,7 +550,7 @@ class Solver {
   // Returns kTrue (model found), kFalse (UNSAT), or kUndef (restart or
   // budget exhausted; check budget_exhausted_).
   LBool Search(std::int64_t conflict_budget, const Deadline& deadline,
-               const std::atomic<bool>* stop);
+               const mc::Atomic<bool>* stop);
 
   static double Luby(double y, int i);
 

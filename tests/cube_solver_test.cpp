@@ -1,4 +1,5 @@
 #include "cube/cube_solver.h"
+#include "mc/shim.h"
 
 #include <gtest/gtest.h>
 
@@ -121,7 +122,7 @@ TEST(CubeSolverTest, DeterministicSingleWorkerReproducesExactly) {
 
 TEST(CubeSolverTest, PreSetStopCancelsBeforeAnyCube) {
   const graph::Graph g = Cycle(9);
-  std::atomic<bool> stop{true};
+  satfr::mc::Atomic<bool> stop{true};
   CubeSolveOptions options = Workers(2);
   options.stop = &stop;
   const CubeSolveResult result = SolveColoringWithCubes(
@@ -135,7 +136,7 @@ TEST(CubeSolverTest, StopMidBatchCancelsWorkers) {
   // worker will finish its cube before the stop lands, so a prompt return
   // with kUnknown demonstrates cancellation reaches solvers mid-cube.
   const graph::Graph g = Complete(16);
-  std::atomic<bool> stop{false};
+  satfr::mc::Atomic<bool> stop{false};
   CubeSolveOptions options = Workers(2);
   options.stop = &stop;
   options.gen.target_cubes = 8;

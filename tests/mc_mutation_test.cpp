@@ -1,0 +1,144 @@
+// Mutation suite: proves the model checker actually catches the bugs it
+// exists for. Each binary built from this source has exactly one deque
+// memory_order deliberately weakened through the SATFR_MC_MUTATE_* hooks
+// in src/cube/work_queue.h, and the corresponding test asserts the litmus
+// property FAILS — with a trail that replays to the same failure. If the
+// checker's memory model ever gets too strong (forcing more ordering than
+// the C++ model guarantees), these tests go green-on-mutant and fail the
+// build.
+//
+// The healthy-build counterparts of these exact litmus bodies live in
+// tests/mc_litmus_test.cpp and must pass there — together the two suites
+// bracket the checker: sound on correct code, sensitive to weakened code.
+
+#if !defined(SATFR_MODEL_CHECK)
+#error "mc_mutation_test requires a SATFR_MODEL_CHECK build"
+#endif
+#if !defined(SATFR_MC_MUTATE_DEQUE_POP_FENCE) && \
+    !defined(SATFR_MC_MUTATE_DEQUE_STEAL_BOTTOM)
+#error "mc_mutation_test requires one SATFR_MC_MUTATE_* definition"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cube/work_queue.h"
+#include "mc/model_check.h"
+
+namespace satfr {
+namespace {
+
+// Steals until the deque is both unstealable and empty-looking; a failed
+// steal alone can be a lost race.
+[[maybe_unused]] void StealLoop(cube::WorkStealingDeque* dq, std::vector<std::int64_t>* out) {
+  std::int64_t item;
+  for (;;) {
+    if (dq->Steal(&item)) {
+      out->push_back(item);
+      continue;
+    }
+    if (dq->Empty()) break;
+    mc::Yield();
+  }
+}
+
+[[maybe_unused]] void CheckMultiset(const std::vector<std::vector<std::int64_t>>& taken,
+                   const std::vector<std::int64_t>& expected) {
+  std::vector<std::int64_t> all;
+  for (const auto& per_thread : taken) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  MC_CHECK(all.size() == expected.size(), "cube lost or popped twice");
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    MC_CHECK(all[i] == expected[i], "wrong cube multiset");
+  }
+}
+
+// Root pushes three items before spawning, owner pops vs one thief. With
+// the PopBottom seq_cst fence weakened to relaxed, the owner can read a
+// top that predates the thief's steals and take an already-stolen slot
+// again (the classic Chase-Lev double-take).
+[[maybe_unused]] void PrePushedExactlyOnceBody() {
+  auto dq = std::make_shared<cube::WorkStealingDeque>(4);
+  dq->PushBottom(101);
+  dq->PushBottom(102);
+  dq->PushBottom(103);
+  auto taken =
+      std::make_shared<std::vector<std::vector<std::int64_t>>>(std::size_t{2});
+  mc::Thread owner([dq, taken] {
+    std::int64_t item;
+    while (dq->PopBottom(&item)) (*taken)[0].push_back(item);
+  });
+  mc::Thread thief([dq, taken] { StealLoop(dq.get(), &(*taken)[1]); });
+  owner.Join();
+  thief.Join();
+  CheckMultiset(*taken, {101, 102, 103});
+}
+
+// Owner pushes DURING the run (no happens-before gift from the spawn), so
+// the thief's acquire load of bottom is the only thing ordering the slot
+// write before the steal's read. Weakened to relaxed, the thief can see
+// the advanced bottom but a stale (zero-initialized) slot.
+[[maybe_unused]] void OwnerPushesDuringRunBody() {
+  auto dq = std::make_shared<cube::WorkStealingDeque>(4);
+  auto taken =
+      std::make_shared<std::vector<std::vector<std::int64_t>>>(std::size_t{2});
+  mc::Thread owner([dq, taken] {
+    dq->PushBottom(42);
+    dq->PushBottom(43);
+    std::int64_t item;
+    while (dq->PopBottom(&item)) (*taken)[0].push_back(item);
+  });
+  mc::Thread thief([dq, taken] { StealLoop(dq.get(), &(*taken)[1]); });
+  owner.Join();
+  thief.Join();
+  CheckMultiset(*taken, {42, 43});
+}
+
+void ExpectCaughtAndReplayable(void (*body)(), const char* what) {
+  mc::ModelCheckOptions opts;
+  opts.max_exhaustive_schedules = 10000;
+  opts.random_schedules = 1000;
+  const mc::ModelCheckResult res = mc::Check(body, opts);
+  ASSERT_FALSE(res.ok) << "checker did NOT catch the mutated " << what;
+  EXPECT_NE(res.failure.find("MC_CHECK failed"), std::string::npos)
+      << res.failure;
+  ASSERT_FALSE(res.failing_trail.empty());
+
+  // The reported schedule must replay to the identical failure.
+  mc::ModelCheckOptions replay;
+  replay.replay_trail = res.failing_trail;
+  const mc::ModelCheckResult again = mc::Check(body, replay);
+  ASSERT_FALSE(again.ok) << "failing trail replayed clean for " << what;
+  EXPECT_EQ(again.failure, res.failure);
+
+  // And when the random walk found it, so must the seed.
+  if (res.failing_seed != 0) {
+    mc::ModelCheckOptions by_seed;
+    by_seed.replay_seed = res.failing_seed;
+    const mc::ModelCheckResult seed_run = mc::Check(body, by_seed);
+    EXPECT_FALSE(seed_run.ok) << "failing seed replayed clean for " << what;
+  }
+}
+
+#if defined(SATFR_MC_MUTATE_DEQUE_POP_FENCE)
+TEST(McMutation, CatchesWeakenedPopBottomFence) {
+  ExpectCaughtAndReplayable(PrePushedExactlyOnceBody,
+                            "PopBottom seq_cst fence");
+}
+#endif
+
+#if defined(SATFR_MC_MUTATE_DEQUE_STEAL_BOTTOM)
+TEST(McMutation, CatchesWeakenedStealBottomLoad) {
+  ExpectCaughtAndReplayable(OwnerPushesDuringRunBody,
+                            "Steal acquire load of bottom");
+}
+#endif
+
+}  // namespace
+}  // namespace satfr

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "mc/shim.h"
 
 namespace satfr::obs {
 namespace {
@@ -25,7 +26,7 @@ TEST(MetricsStressTest, ConcurrentShardedUpdatesWithSnapshots) {
   const MetricId histogram = registry.Histogram("stress.histogram");
   const MetricId gauge = registry.Gauge("stress.gauge");
 
-  std::atomic<bool> stop{false};
+  satfr::mc::Atomic<bool> stop{false};
   std::thread reader([&registry, &stop] {
     while (!stop.load(std::memory_order_relaxed)) {
       const MetricsSnapshot snapshot = registry.Snapshot();

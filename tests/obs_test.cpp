@@ -5,6 +5,7 @@
 // the satlint telemetry-consistency pass on a real solve.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -17,7 +18,9 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/solver_trace.h"
 #include "obs/trace.h"
+#include "sat/solver.h"
 #include "test_util.h"
 
 namespace satfr::obs {
@@ -388,6 +391,129 @@ TEST(TelemetryConsistencyTest, CatchesObserverDrift) {
   input.run_records = &records;
   const analysis::AnalysisReport report = runner.Run(input);
   EXPECT_FALSE(report.diagnostics.empty());
+}
+
+// ------------------------------------------ exchange-conservation pass --
+
+std::vector<std::string> PassesWithFindings(
+    const std::vector<RunRecord>& records) {
+  const analysis::AnalysisRunner runner = analysis::MakeDefaultRunner();
+  analysis::AnalysisInput input;
+  input.run_records = &records;
+  const analysis::AnalysisReport report = runner.Run(input);
+  std::vector<std::string> passes;
+  for (const auto& d : report.diagnostics) passes.push_back(d.pass);
+  return passes;
+}
+
+RunRecord BalancedExchangeRecord() {
+  RunRecord r;
+  r.verdict = "SAT";
+  r.exchange_exported = 10;
+  r.exchange_imported = 6;
+  r.exchange_torn_reads = 1;
+  r.exchange_self_skipped = 2;
+  r.exchange_incompatible_skipped = 1;
+  r.exchange_eviction_skipped = 3;
+  r.exchange_cursor_advanced = 6 + 1 + 2 + 1 + 3;
+  return r;
+}
+
+TEST(ExchangeConservationTest, BalancedLedgerPasses) {
+  const std::vector<RunRecord> records = {BalancedExchangeRecord()};
+  for (const std::string& pass : PassesWithFindings(records)) {
+    EXPECT_NE(pass, "exchange-conservation");
+  }
+}
+
+TEST(ExchangeConservationTest, CatchesUnclassifiedCursorSteps) {
+  RunRecord r = BalancedExchangeRecord();
+  r.exchange_cursor_advanced += 2;  // two tickets skipped unaccounted
+  const std::vector<std::string> passes = PassesWithFindings({r});
+  EXPECT_NE(std::find(passes.begin(), passes.end(), "exchange-conservation"),
+            passes.end());
+}
+
+TEST(ExchangeConservationTest, CatchesImportWithoutExport) {
+  RunRecord r = BalancedExchangeRecord();
+  r.exchange_exported = 0;
+  const std::vector<std::string> passes = PassesWithFindings({r});
+  EXPECT_NE(std::find(passes.begin(), passes.end(), "exchange-conservation"),
+            passes.end());
+}
+
+TEST(ExchangeConservationTest, RealCubePoolReportBalances) {
+  // The end-to-end check: a real cube-pool solve's ledger must balance —
+  // this is what CI's `satlint report` run asserts on every benchmark.
+  const std::string path = TempPath("obs_exchange_ledger.jsonl");
+  SolveAndReport(path);
+  std::vector<RunRecord> records;
+  std::string error;
+  ASSERT_TRUE(LoadRunReport(path, &records, &error)) << error;
+  for (const std::string& pass : PassesWithFindings(records)) {
+    EXPECT_NE(pass, "exchange-conservation");
+  }
+}
+
+// ----------------------------------------- observer detach mid-solve --
+
+// Detaches itself from inside its own restart callback at the first
+// sample, recording the solver stats at that instant. Because the solver
+// resets the sample baseline before invoking the callback, that snapshot
+// is a consistent cut: it equals the attach-time baseline plus every
+// window delivered so far.
+class DetachingObserver : public SolverTelemetryObserver {
+ public:
+  explicit DetachingObserver(sat::Solver* solver)
+      : SolverTelemetryObserver(nullptr), solver_(solver) {}
+
+  void OnRestartSample(const sat::SolverRestartSample& sample) override {
+    SolverTelemetryObserver::OnRestartSample(sample);
+    ++samples_;
+    if (samples_ == 1) {
+      cut_ = solver_->stats();
+      solver_->SetObserver(nullptr);  // the sanctioned detach path
+    }
+  }
+
+  sat::Solver* solver_;
+  int samples_ = 0;
+  sat::SolverStats cut_;
+};
+
+TEST(TelemetryConsistencyTest, ObserverDetachMidSolveStopsPhaseClocks) {
+  sat::Solver solver;
+  ASSERT_TRUE(solver.AddCnf(testutil::PigeonholeCnf(6)));
+  const sat::SolverStats base = solver.stats();
+  DetachingObserver observer(&solver);
+  solver.SetObserver(&observer);
+  ASSERT_EQ(solver.Solve(), sat::SolveResult::kUnsat);
+
+  // The observer detached at the first restart boundary and saw exactly
+  // one sample; the solve kept going without it.
+  ASSERT_EQ(observer.samples_, 1);
+  EXPECT_GT(solver.stats().restarts, observer.cut_.restarts);
+  EXPECT_GT(solver.stats().conflicts, observer.cut_.conflicts);
+
+  // The phase clocks stopped the instant the observer detached: timing is
+  // re-gated on every search pass, so not a single tick lands afterwards
+  // and the totals still equal the cut bit-for-bit at solve end.
+  EXPECT_GT(observer.cut_.bcp_seconds, 0.0);
+  EXPECT_EQ(solver.stats().bcp_seconds, observer.cut_.bcp_seconds);
+  EXPECT_EQ(solver.stats().analyze_seconds, observer.cut_.analyze_seconds);
+  EXPECT_EQ(solver.stats().inprocess_seconds,
+            observer.cut_.inprocess_seconds);
+
+  // And the cut is consistent: a record pairing the observer's running
+  // totals with the solver window up to the detach point shows no drift
+  // under the telemetry-consistency pass.
+  RunRecord record;
+  record.verdict = "UNSAT";
+  record.SetSolverWindow(observer.cut_.Since(base));
+  observer.FillRecord(&record);
+  for (const std::string& pass : PassesWithFindings({record})) {
+    EXPECT_NE(pass, "telemetry-consistency");
+  }
 }
 
 }  // namespace

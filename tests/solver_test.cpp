@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "sat/brute_force.h"
+#include "mc/shim.h"
 #include "sat/clause_exchange.h"
 #include "sat/solver.h"
 #include "test_util.h"
@@ -174,7 +175,7 @@ TEST(SolverTest, DeadlineReturnsUnknown) {
 TEST(SolverTest, StopFlagAbortsSearch) {
   Solver solver;
   ASSERT_TRUE(solver.AddCnf(testutil::PigeonholeCnf(11)));
-  std::atomic<bool> stop{false};
+  satfr::mc::Atomic<bool> stop{false};
   std::thread stopper([&stop] {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
     stop.store(true);

@@ -19,6 +19,10 @@ the pool does not collapse (0.45x allows thread-churn overhead).
 Timed-out cells make a speedup unmeasurable; such instances never pass but
 only fail the gate when too few measurable instances remain.
 
+On a machine without real parallelism (hardware_concurrency < 2) no
+speedup measurement means anything — every number is scheduler noise — so
+the script reports the numbers but always exits 0 (report-only mode).
+
 Usage: check_parallel_speedup.py <report.json> [min_passing]
 Exits nonzero when fewer than `min_passing` (default 2) instances reach the
 floor, printing one line per instance either way.
@@ -67,6 +71,11 @@ def main() -> int:
               f"(floor {floor:.2f}x)")
 
     if passing < min_passing:
+        if cores < 2:
+            print(f"REPORT-ONLY: {passing}/{measurable} measurable "
+                  f"instance(s) reached the floor, but only {cores} "
+                  f"hardware thread(s) were available — not gating")
+            return 0
         print(f"FAIL: only {passing}/{measurable} measurable instance(s) "
               f"reached the floor (need {min_passing})")
         return 1

@@ -9,7 +9,12 @@
 //                                     graph, encode, and lint the result
 //   satlint report <file.jsonl>       lint a `satfr --report` run report
 //                                     (telemetry-consistency: observer
-//                                     totals vs solver-window stats)
+//                                     totals vs solver-window stats;
+//                                     exchange-conservation: clause-
+//                                     exchange reader ledger)
+//   satlint sources <file...>         scan source files (mc-coverage: the
+//                                     lock-free layers must route atomics
+//                                     and mutexes through the mc:: shim)
 //
 // Options:
 //   --encoding NAME|all|evaluated
@@ -26,6 +31,8 @@
 // 2 = usage or I/O problem.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <optional>
 #include <string>
 #include <utility>
@@ -60,11 +67,13 @@ struct LintOptions {
 
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
-               "usage: satlint <passes|cnf|col|encode|report> [args]\n"
+               "usage: satlint <passes|cnf|col|encode|report|sources>"
+               " [args]\n"
                "  satlint cnf <file.cnf>\n"
                "  satlint col <file.col> [--width K]\n"
                "  satlint encode <benchmark> [--width K]\n"
                "  satlint report <file.jsonl>\n"
+               "  satlint sources <file...>\n"
                "options: --encoding NAME|all|evaluated  --sym b1|s1|none"
                "  --json\n"
                "         --disable PASS  --severity PASS=info|warning|error\n"
@@ -260,6 +269,26 @@ int CmdReport(const LintOptions& opts) {
   return RunAndReport(MakeRunner(opts), input, opts, banner);
 }
 
+int CmdSources(const LintOptions& opts) {
+  if (opts.positional.empty()) Usage();
+  std::vector<analysis::SourceFile> sources;
+  for (const std::string& path : opts.positional) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    sources.push_back({path, content.str()});
+  }
+  analysis::AnalysisInput input;
+  input.sources = &sources;
+  const std::string banner =
+      std::to_string(sources.size()) + " source file(s)";
+  return RunAndReport(MakeRunner(opts), input, opts, banner);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -271,5 +300,6 @@ int main(int argc, char** argv) {
   if (command == "col") return CmdCol(opts);
   if (command == "encode") return CmdEncode(opts);
   if (command == "report") return CmdReport(opts);
+  if (command == "sources") return CmdSources(opts);
   Usage();
 }
