@@ -1,0 +1,27 @@
+// Net-group hygiene: the contract of a grouped encode
+// (encode::NetGroupedSink) as a lintable property.
+//
+// The incremental routing session's soundness rests on three structural
+// invariants of the clause stream (see net_group.h): every clause inside a
+// group range carries exactly one copy of the group's own negated selector
+// — so deactivated groups are vacuous under their literal and active groups
+// reduce to the unguarded encoding — plus at most one cross guard (another
+// group's selector, also negated: a conflict clause dies when either
+// endpoint's net is retired) and no other activation-region literal; group
+// ranges are pairwise disjoint with distinct activation variables; and
+// clauses outside every group touch activation variables only as unit
+// clauses (the activation / retirement toggles themselves). The pass needs
+// the AnalysisInput's `cnf` and `net_groups` together, with clause index
+// i = sink ordinal i.
+#pragma once
+
+#include "analysis/runner.h"
+
+namespace satfr::analysis {
+
+/// Registers the net-group layer:
+///   net-group-hygiene (error)  activation-literal / range-disjointness /
+///                              vacuity contract of a grouped encode
+void AddNetGroupPasses(AnalysisRunner& runner);
+
+}  // namespace satfr::analysis

@@ -19,6 +19,7 @@
 namespace satfr::encode {
 struct EncodedColoring;
 struct EncodingSpec;
+struct NetGroupTable;
 }  // namespace satfr::encode
 namespace satfr::route {
 struct GlobalRouting;
@@ -47,6 +48,11 @@ struct AnalysisInput {
   const encode::EncodingSpec* spec = nullptr;
   const std::vector<graph::VertexId>* symmetry_sequence = nullptr;
   const route::GlobalRouting* routing = nullptr;
+  // Net-group table of a grouped encode (encode::NetGroupedSink). The
+  // net-group-hygiene pass needs it together with `cnf`, and the Cnf must
+  // have been collected through the same NetGroupedSink chain (starting
+  // empty) so clause index i is group ordinal i.
+  const encode::NetGroupTable* net_groups = nullptr;
   // Run-report records (`satlint report <file.jsonl>`), checked by the
   // telemetry layer's consistency passes.
   const std::vector<obs::RunRecord>* run_records = nullptr;

@@ -6,6 +6,7 @@
 #include "analysis/cube_passes.h"
 #include "analysis/encoding_passes.h"
 #include "analysis/graph_passes.h"
+#include "analysis/netgroup_passes.h"
 #include "analysis/solver_passes.h"
 #include "analysis/source_passes.h"
 #include "analysis/telemetry_passes.h"
@@ -95,6 +96,7 @@ AnalysisRunner MakeDefaultRunner() {
   AnalysisRunner runner;
   AddCnfPasses(runner);
   AddEncodingPasses(runner);
+  AddNetGroupPasses(runner);
   AddGraphPasses(runner);
   AddSolverPasses(runner);
   AddCubePasses(runner);

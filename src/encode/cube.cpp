@@ -90,4 +90,14 @@ void EmitConflictClause(const Cube& a, int offset_a, const Cube& b,
   sink.EmitClause(scratch);
 }
 
+void EmitGuardedConflictClause(const Cube& a, int offset_a, const Cube& b,
+                               int offset_b, sat::Lit guard,
+                               sat::ClauseSink& sink, sat::Clause& scratch) {
+  scratch.clear();
+  AppendNegated(a, offset_a, scratch);
+  AppendNegated(b, offset_b, scratch);
+  scratch.push_back(guard);
+  sink.EmitClause(scratch);
+}
+
 }  // namespace satfr::encode

@@ -63,4 +63,11 @@ void EmitConflictClause(const Cube& a, int offset_a, const Cube& b,
                         int offset_b, sat::ClauseSink& sink,
                         sat::Clause& scratch);
 
+/// Emits ConflictClause(a, offset_a, b, offset_b) with `guard` appended —
+/// the cross-group guard of the net-grouped emission (see
+/// EmitNetGroup): the clause is vacuous whenever `guard` is true.
+void EmitGuardedConflictClause(const Cube& a, int offset_a, const Cube& b,
+                               int offset_b, sat::Lit guard,
+                               sat::ClauseSink& sink, sat::Clause& scratch);
+
 }  // namespace satfr::encode

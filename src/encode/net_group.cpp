@@ -1,0 +1,52 @@
+#include "encode/net_group.h"
+
+#include <cassert>
+
+namespace satfr::encode {
+
+sat::Var NetGroupedSink::BeginGroup(graph::VertexId net) {
+  assert(!open_ && "net groups must not nest");
+  assert(net >= 0);
+  open_ = true;
+  // The next id the sink chain would hand out; EnsureVars forwards it
+  // downstream so solver/collector numberings stay aligned.
+  const sat::Var activation = num_vars();
+  EnsureVars(activation + 1);
+  if (table_.first_activation_var < 0) {
+    table_.first_activation_var = activation;
+  }
+  if (static_cast<std::size_t>(net) >= next_epoch_.size()) {
+    next_epoch_.resize(static_cast<std::size_t>(net) + 1, 0);
+  }
+  NetGroup group;
+  group.net = net;
+  group.epoch = next_epoch_[static_cast<std::size_t>(net)]++;
+  group.activation = activation;
+  group.clause_begin = num_clauses();
+  group.clause_end = group.clause_begin;
+  table_.groups.push_back(group);
+  return activation;
+}
+
+void NetGroupedSink::EndGroup() {
+  assert(open_ && "EndGroup without BeginGroup");
+  open_ = false;
+}
+
+void NetGroupedSink::DoEmit(const sat::Lit* lits, std::size_t n) {
+  if (!open_) {
+    down_.EmitClause(lits, n);
+    return;
+  }
+  NetGroup& group = table_.groups.back();
+  scratch_.clear();
+  scratch_.reserve(n + 1);
+  scratch_.push_back(sat::Lit::Neg(group.activation));
+  scratch_.insert(scratch_.end(), lits, lits + n);
+  down_.EmitClause(scratch_);
+  // num_clauses_ was bumped by EmitClause before DoEmit, so the counter now
+  // equals this clause's ordinal + 1 — exactly the exclusive range end.
+  group.clause_end = num_clauses();
+}
+
+}  // namespace satfr::encode

@@ -1,0 +1,93 @@
+// Net-grouped clause emission: the NetGroupedSink decorator and the group
+// table it produces.
+//
+// The incremental routing session (flow/routing_session.h) needs every
+// net's clauses to be individually retractable: activating a net means
+// assuming its selector literal, ripping it up means adding the permanent
+// unit ~selector. NetGroupedSink makes that shape a property of the clause
+// *stream* rather than of any one encoder: between BeginGroup(net) and
+// EndGroup() every emitted clause is forwarded downstream with the group's
+// fresh activation literal ~a prepended (so the stored clause is the guarded
+// implication a -> C), and the group's clause-ordinal range is recorded in a
+// NetGroupTable. Clauses emitted outside a group (the width-ladder guards,
+// activation toggles) pass through untouched.
+//
+// Invariants the table promises (checked by satlint's net-group-hygiene
+// pass):
+//   * every clause inside a group range carries exactly one activation
+//     literal — the negated group selector, in first position;
+//   * group ranges are pairwise disjoint;
+//   * a deactivated group is vacuous under its literal: assigning the
+//     selector false satisfies every clause of the range.
+//
+// A net may appear multiple times: each re-emission (a rip-up/re-route
+// delta) opens a fresh *epoch* with a fresh activation variable; the retired
+// epoch's clauses stay downstream but are permanently satisfied by the
+// retirement unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sat/clause_sink.h"
+#include "sat/types.h"
+
+namespace satfr::encode {
+
+/// One net's clause group: the guarded clauses occupy stream ordinals
+/// [clause_begin, clause_end) of the NetGroupedSink that emitted them.
+struct NetGroup {
+  graph::VertexId net = -1;
+  /// 0 for the initial emission, +1 per re-emission of the same net.
+  int epoch = 0;
+  sat::Var activation = -1;
+  std::uint64_t clause_begin = 0;
+  std::uint64_t clause_end = 0;  // one past the last clause
+};
+
+struct NetGroupTable {
+  std::vector<NetGroup> groups;
+  /// Smallest activation variable handed out (-1 before the first group).
+  /// Every variable >= this is an activation variable of some group.
+  sat::Var first_activation_var = -1;
+};
+
+/// ClauseSink decorator that tags clause ranges with net ids and injects
+/// activation literals (see file comment). Variables allocated via
+/// EnsureVars/EmitVar outside BeginGroup are ordinary passthrough
+/// variables; BeginGroup itself allocates the group's activation variable.
+class NetGroupedSink final : public sat::ClauseSink {
+ public:
+  explicit NetGroupedSink(sat::ClauseSink& down) : down_(down) {
+    num_vars_ = down.num_vars();
+  }
+
+  void EnsureVars(int n) override {
+    ClauseSink::EnsureVars(n);
+    down_.EnsureVars(n);
+  }
+  void ReserveClauses(std::uint64_t n) override { down_.ReserveClauses(n); }
+  bool Finish() override { return !open_ && down_.Finish(); }
+
+  /// Opens a group for `net`: allocates a fresh activation variable,
+  /// records the epoch, and returns the activation variable. Groups must
+  /// not nest.
+  sat::Var BeginGroup(graph::VertexId net);
+  void EndGroup();
+
+  bool group_open() const { return open_; }
+  const NetGroupTable& table() const { return table_; }
+
+ protected:
+  void DoEmit(const sat::Lit* lits, std::size_t n) override;
+
+ private:
+  sat::ClauseSink& down_;
+  NetGroupTable table_;
+  sat::Clause scratch_;
+  std::vector<int> next_epoch_;  // per net id, grown on demand
+  bool open_ = false;
+};
+
+}  // namespace satfr::encode

@@ -77,6 +77,13 @@ JsonValue RunRecord::ToJson() const {
                   JsonValue(peak_clause_memory_bytes));
   o.emplace_back("learnt_db", JsonValue(std::move(db)));
 
+  if (deltas_applied != 0 || groups_retired != 0 || phase == "session") {
+    JsonObject session;
+    session.emplace_back("deltas_applied", JsonValue(deltas_applied));
+    session.emplace_back("groups_retired", JsonValue(groups_retired));
+    o.emplace_back("session", JsonValue(std::move(session)));
+  }
+
   JsonObject cube;
   cube.emplace_back("cubes", JsonValue(cubes));
   cube.emplace_back("stolen", JsonValue(cubes_stolen));
@@ -150,6 +157,10 @@ bool RunRecord::FromJson(const JsonValue& value, RunRecord* record,
       }
     }
     r.peak_clause_memory_bytes = GetU64(*db, "peak_clause_memory_bytes");
+  }
+  if (const JsonValue* session = value.Find("session")) {
+    r.deltas_applied = GetU64(*session, "deltas_applied");
+    r.groups_retired = GetU64(*session, "groups_retired");
   }
   if (const JsonValue* cube = value.Find("cube")) {
     r.cubes = GetU64(*cube, "cubes");

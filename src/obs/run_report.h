@@ -32,7 +32,8 @@ namespace satfr::obs {
 struct RunRecord {
   // ---- context ----
   std::string instance;   // run label: MCNC circuit, .col file, "cnf", ...
-  std::string phase;      // "route", "min_width", "incremental", "portfolio"
+  std::string phase;      // "route", "min_width", "incremental",
+                          // "portfolio", "session"
   std::string encoding;
   std::string symmetry;
   int width = 0;
@@ -67,6 +68,13 @@ struct RunRecord {
   std::vector<std::uint64_t> lbd_histogram;  // bucket i = learnts with LBD i
                                              // (last bucket clamps)
   std::uint64_t peak_clause_memory_bytes = 0;
+
+  // ---- incremental session (zero unless phase == "session") ----
+  // Rip-up/re-route deltas absorbed and net groups retired since the
+  // previous record of the same session; the emission time of those deltas
+  // is reported as encode_seconds (the session never re-encodes).
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t groups_retired = 0;
 
   // ---- cube / exchange (zero unless the cube pool or portfolio ran) ----
   std::uint64_t cubes = 0;

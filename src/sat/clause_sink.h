@@ -193,6 +193,43 @@ class CountingSink final : public ClauseSink {
   std::vector<std::uint64_t> histogram_;
 };
 
+/// Duplicates the stream into two downstream sinks — e.g. a SolverSink plus
+/// a CnfCollectorSink when a resident solver's input must also stay
+/// auditable (flow::RoutingSession's audit mode feeds the satlint
+/// net-group-hygiene pass this way). Finish() runs both downstreams and is
+/// false if either is.
+class TeeSink final : public ClauseSink {
+ public:
+  TeeSink(ClauseSink& a, ClauseSink& b) : a_(a), b_(b) {
+    num_vars_ = a.num_vars() > b.num_vars() ? a.num_vars() : b.num_vars();
+  }
+
+  void EnsureVars(int n) override {
+    ClauseSink::EnsureVars(n);
+    a_.EnsureVars(n);
+    b_.EnsureVars(n);
+  }
+  void ReserveClauses(std::uint64_t n) override {
+    a_.ReserveClauses(n);
+    b_.ReserveClauses(n);
+  }
+  bool Finish() override {
+    const bool a_ok = a_.Finish();
+    const bool b_ok = b_.Finish();
+    return a_ok && b_ok;
+  }
+
+ protected:
+  void DoEmit(const Lit* lits, std::size_t n) override {
+    a_.EmitClause(lits, n);
+    b_.EmitClause(lits, n);
+  }
+
+ private:
+  ClauseSink& a_;
+  ClauseSink& b_;
+};
+
 /// Chainable inline simplifier (equi-propagation-lite): drops duplicate
 /// literals and tautologies, tracks unit clauses as a level-0 assignment,
 /// removes falsified literals, and drops satisfied clauses — all while the

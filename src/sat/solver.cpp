@@ -44,6 +44,9 @@ SolverStats SolverStats::Since(const SolverStats& baseline) const {
   d.exported_clauses = exported_clauses - baseline.exported_clauses;
   d.imported_clauses = imported_clauses - baseline.imported_clauses;
   d.import_duplicates = import_duplicates - baseline.import_duplicates;
+  d.retired_groups = retired_groups - baseline.retired_groups;
+  d.activation_blocked_exports =
+      activation_blocked_exports - baseline.activation_blocked_exports;
   d.solve_seconds = solve_seconds - baseline.solve_seconds;
   for (std::size_t i = 0; i < kLbdHistogramSize; ++i) {
     d.lbd_histogram[i] = lbd_histogram[i] - baseline.lbd_histogram[i];
@@ -74,6 +77,8 @@ void SolverStats::Accumulate(const SolverStats& other) {
   exported_clauses += other.exported_clauses;
   imported_clauses += other.imported_clauses;
   import_duplicates += other.import_duplicates;
+  retired_groups += other.retired_groups;
+  activation_blocked_exports += other.activation_blocked_exports;
   // Per-worker wall times overlap, so the merged figure is the pool's
   // aggregate CPU-seconds of solving — the convention MergedStats already
   // established for props/sec readings.
@@ -251,6 +256,23 @@ void Solver::EnsureVars(int n) {
   bin_overflow_nonempty_.reserve(2 * count);
   trail_.Reserve(count);
   while (num_vars() < n) NewVar();
+}
+
+Var Solver::ReserveActivationVars(int hint) {
+  if (activation_begin_ < 0) activation_begin_ = num_vars();
+  if (hint > 0) EnsureVars(activation_begin_ + hint);
+  return activation_begin_;
+}
+
+bool Solver::RetireActivationGroup(Var activation) {
+  assert(IsActivationVar(activation));
+  assert(DecisionLevel() == 0);
+  if (!ok_) return false;
+  const Lit off = Lit::Neg(activation);
+  if (Value(off) == LBool::kTrue) return true;  // already retired
+  if (!AddClause(&off, 1)) return false;
+  ++stats_.retired_groups;
+  return true;
 }
 
 Solver::ClauseRef Solver::AllocClause(const Clause& lits, bool learnt) {
@@ -1248,6 +1270,18 @@ bool Solver::VivifyClause(ClauseRef cref) {
 void Solver::ExportLearnt(const Clause& learnt, std::uint32_t lbd) {
   if (!exchange_) return;
   if (learnt.size() > 2 && lbd > options_.share_max_lbd) return;
+  // Learnts over activation variables are local bookkeeping: a peer's
+  // NumberingKey covers only the base layout, so a clause mentioning a
+  // session's selector literal would be gibberish (or worse, unsound once
+  // the group is retired here but alive there) on the other side.
+  if (activation_begin_ >= 0) {
+    for (const Lit l : learnt) {
+      if (l.var() >= activation_begin_) {
+        ++stats_.activation_blocked_exports;
+        return;
+      }
+    }
+  }
   // Remember the literal hash (it is identity under arena GC); a clause
   // this solver has already imported is not echoed back, and a clause it
   // exported will be recognized if the exchange ever offers it back.

@@ -159,6 +159,12 @@ struct SolverStats {
   // exported or imported by this solver (identity survives arena GC — the
   // hash covers literals, not clause addresses).
   std::uint64_t import_duplicates = 0;
+  // Activation-group machinery (see ReserveActivationVars): groups retired
+  // with a permanent negative unit, and learnts withheld from the exchange
+  // because they mention an activation variable (meaningless to peers whose
+  // NumberingKey only covers the base layout).
+  std::uint64_t retired_groups = 0;
+  std::uint64_t activation_blocked_exports = 0;
   double solve_seconds = 0.0;
   // LBD distribution of everything learned (one array store per conflict).
   std::uint64_t lbd_histogram[kLbdHistogramSize] = {};
@@ -343,6 +349,34 @@ class Solver {
     exchange_ = exchange;
     exchange_participant_ = participant;
   }
+
+  /// Declares that every variable from the returned id upward is an
+  /// *activation* variable: a selector literal guarding a retractable clause
+  /// group (per-net groups, width-ladder guards). The split has two effects:
+  /// learnts mentioning an activation variable are never exported to a
+  /// ClauseExchange (peers share only the base-layout numbering covered by
+  /// encode::NumberingKey, so the exchange key stays valid no matter how
+  /// many activation variables a session allocates later), and
+  /// RetireActivationGroup becomes available for them. `hint` variables are
+  /// reserved up front (more may be allocated later via EnsureVars/NewVar —
+  /// they are activation variables too). Returns the first activation
+  /// variable id; idempotent (later calls return the same id).
+  Var ReserveActivationVars(int hint);
+
+  /// First activation variable, or -1 before ReserveActivationVars.
+  Var activation_vars_begin() const { return activation_begin_; }
+
+  bool IsActivationVar(Var v) const {
+    return activation_begin_ >= 0 && v >= activation_begin_;
+  }
+
+  /// Permanently retires the clause group guarded by activation variable
+  /// `activation`: adds the unit clause ~activation, so every group clause
+  /// (~activation \/ C) is satisfied at level 0 and reclaimed by the next
+  /// RemoveSatisfied sweep — together with every learnt that contains
+  /// ~activation (i.e. whose derivation leaned on the group under the
+  /// activation assumption). Call between solves only. Returns okay().
+  bool RetireActivationGroup(Var activation);
 
   /// Imports every pending shared clause from the attached exchange into
   /// the clause database (learnt tier chosen from the sender's LBD).
@@ -649,6 +683,9 @@ class Solver {
   std::vector<Clause>* proof_log_ = nullptr;
   std::vector<Lit> assumptions_;
   bool conflict_under_assumptions_ = false;
+  // First activation variable (-1 = none declared); see
+  // ReserveActivationVars.
+  Var activation_begin_ = -1;
 
   // Emits one observer sample: window = stats_ since the last sample.
   void EmitObserverSample(bool final_flush);

@@ -1,0 +1,420 @@
+// Tests for the net-grouped clause layer: the NetGroupedSink decorator, the
+// grouped encoder's clause-count and equisatisfiability contract, the
+// satlint net-group-hygiene pass (clean tables accepted, each crafted
+// defect caught — including the cross-guard allowance), and the
+// StreamingDimacsSink round trip of a grouped formula with its activation
+// toggles.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "common/rng.h"
+#include "encode/csp_to_cnf.h"
+#include "encode/net_group.h"
+#include "encode/registry.h"
+#include "graph/graph.h"
+#include "sat/clause_sink.h"
+#include "sat/cnf.h"
+#include "sat/dimacs.h"
+#include "sat/solver.h"
+#include "symmetry/symmetry.h"
+#include "test_util.h"
+
+namespace satfr::encode {
+namespace {
+
+using sat::Clause;
+using sat::Cnf;
+using sat::CnfCollectorSink;
+using sat::Lit;
+using sat::SolveResult;
+using sat::Solver;
+using sat::Var;
+
+graph::Graph Triangle() {
+  graph::Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// NetGroupedSink mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(NetGroupedSinkTest, PassthroughOutsideGroups) {
+  Cnf cnf(2);
+  CnfCollectorSink collector(cnf);
+  NetGroupedSink sink(collector);
+  sink.EmitClause({Lit::Pos(0), Lit::Neg(1)});
+  ASSERT_TRUE(sink.Finish());
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses()[0], Clause({Lit::Pos(0), Lit::Neg(1)}));
+  EXPECT_TRUE(sink.table().groups.empty());
+  EXPECT_EQ(sink.table().first_activation_var, -1);
+}
+
+TEST(NetGroupedSinkTest, PrependsOwnActivationLiteral) {
+  Cnf cnf(2);
+  CnfCollectorSink collector(cnf);
+  NetGroupedSink sink(collector);
+  const Var a = sink.BeginGroup(/*net=*/7);
+  EXPECT_EQ(a, 2);  // first variable past the passthrough ones
+  sink.EmitClause({Lit::Pos(0), Lit::Neg(1)});
+  sink.EndGroup();
+  ASSERT_TRUE(sink.Finish());
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses()[0],
+            Clause({Lit::Neg(a), Lit::Pos(0), Lit::Neg(1)}));
+  ASSERT_EQ(sink.table().groups.size(), 1u);
+  const NetGroup& group = sink.table().groups[0];
+  EXPECT_EQ(group.net, 7);
+  EXPECT_EQ(group.epoch, 0);
+  EXPECT_EQ(group.activation, a);
+  EXPECT_EQ(group.clause_begin, 0u);
+  EXPECT_EQ(group.clause_end, 1u);
+  EXPECT_EQ(sink.table().first_activation_var, a);
+}
+
+TEST(NetGroupedSinkTest, ReemissionOpensFreshEpochAndVariable) {
+  Cnf cnf(1);
+  CnfCollectorSink collector(cnf);
+  NetGroupedSink sink(collector);
+  const Var a0 = sink.BeginGroup(4);
+  sink.EmitClause({Lit::Pos(0)});
+  sink.EndGroup();
+  const Var a1 = sink.BeginGroup(4);
+  sink.EmitClause({Lit::Neg(0)});
+  sink.EndGroup();
+  ASSERT_TRUE(sink.Finish());
+  ASSERT_EQ(sink.table().groups.size(), 2u);
+  EXPECT_NE(a0, a1);
+  EXPECT_EQ(sink.table().groups[0].epoch, 0);
+  EXPECT_EQ(sink.table().groups[1].epoch, 1);
+  EXPECT_EQ(sink.table().groups[1].net, 4);
+}
+
+TEST(NetGroupedSinkTest, FinishFailsWhileGroupOpen) {
+  Cnf cnf(1);
+  CnfCollectorSink collector(cnf);
+  NetGroupedSink sink(collector);
+  sink.BeginGroup(0);
+  EXPECT_TRUE(sink.group_open());
+  EXPECT_FALSE(sink.Finish());
+  sink.EndGroup();
+  EXPECT_TRUE(sink.Finish());
+}
+
+// ---------------------------------------------------------------------------
+// Grouped encoder contract: same clause count as the flat encoder, and the
+// conjunction of all groups under assumed selectors is equisatisfiable.
+// ---------------------------------------------------------------------------
+
+struct GroupedEncode {
+  Cnf cnf;
+  NetGroupTable table;
+  ColoringLayout layout;
+};
+
+GroupedEncode EncodeGrouped(const graph::Graph& g, int width,
+                            const EncodingSpec& spec,
+                            const std::vector<graph::VertexId>& sequence) {
+  GroupedEncode out;
+  CnfCollectorSink collector(out.cnf);
+  NetGroupedSink sink(collector);
+  out.layout = EncodeColoringGrouped(g, width, spec, sequence, sink);
+  EXPECT_TRUE(sink.Finish());
+  out.table = sink.table();
+  return out;
+}
+
+SolveResult SolveGroupedActive(const GroupedEncode& grouped) {
+  Solver solver;
+  solver.EnsureVars(grouped.cnf.num_vars());
+  for (const Clause& clause : grouped.cnf.clauses()) {
+    if (!solver.AddClause(clause)) return SolveResult::kUnsat;
+  }
+  std::vector<Lit> assumptions;
+  for (const NetGroup& group : grouped.table.groups) {
+    assumptions.push_back(Lit::Pos(group.activation));
+  }
+  return solver.SolveWithAssumptions(assumptions);
+}
+
+TEST(GroupedEncodeTest, ClauseCountMatchesFlatEncoder) {
+  const graph::Graph g = Triangle();
+  for (const std::string& name : EvaluatedEncodingNames()) {
+    const EncodingSpec& spec = GetEncoding(name);
+    const std::vector<graph::VertexId> sequence = symmetry::SymmetrySequence(
+        g, /*num_colors=*/3, symmetry::Heuristic::kS1);
+    const GroupedEncode grouped = EncodeGrouped(g, 3, spec, sequence);
+    EXPECT_EQ(grouped.cnf.num_clauses(),
+              ExpectedColoringClauses(g, grouped.layout.domain, 3,
+                                      sequence.size()))
+        << name;
+    EXPECT_EQ(grouped.table.groups.size(), 3u) << name;
+  }
+}
+
+TEST(GroupedEncodeTest, EquisatisfiableWithFlatEncodeAcrossEncodings) {
+  Rng rng(20260808);
+  const graph::Graph g = testutil::RandomGraph(rng, 8, 0.35);
+  for (const std::string& name : EvaluatedEncodingNames()) {
+    const EncodingSpec& spec = GetEncoding(name);
+    for (const auto heuristic :
+         {symmetry::Heuristic::kNone, symmetry::Heuristic::kB1,
+          symmetry::Heuristic::kS1}) {
+      for (const int width : {2, 4}) {
+        const std::vector<graph::VertexId> sequence =
+            symmetry::SymmetrySequence(g, width, heuristic);
+        const EncodedColoring flat =
+            EncodeColoring(g, width, spec, sequence);
+        Solver flat_solver;
+        flat_solver.EnsureVars(flat.cnf.num_vars());
+        bool flat_consistent = true;
+        for (const Clause& clause : flat.cnf.clauses()) {
+          if (!flat_solver.AddClause(clause)) flat_consistent = false;
+        }
+        const SolveResult expected =
+            flat_consistent ? flat_solver.Solve() : SolveResult::kUnsat;
+
+        const GroupedEncode grouped = EncodeGrouped(g, width, spec, sequence);
+        EXPECT_EQ(SolveGroupedActive(grouped), expected)
+            << name << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST(GroupedEncodeTest, FalseSelectorVacatesItsGroup) {
+  // Triangle at width 2 is uncolorable with every net active; retiring any
+  // one net leaves a single edge, which is 2-colorable — the retired group
+  // must contribute nothing under its false selector.
+  const graph::Graph g = Triangle();
+  const GroupedEncode grouped =
+      EncodeGrouped(g, 2, GetEncoding("muldirect"), {});
+  ASSERT_EQ(grouped.table.groups.size(), 3u);
+
+  Solver solver;
+  solver.EnsureVars(grouped.cnf.num_vars());
+  for (const Clause& clause : grouped.cnf.clauses()) {
+    ASSERT_TRUE(solver.AddClause(clause));
+  }
+  std::vector<Lit> all;
+  for (const NetGroup& group : grouped.table.groups) {
+    all.push_back(Lit::Pos(group.activation));
+  }
+  EXPECT_EQ(solver.SolveWithAssumptions(all), SolveResult::kUnsat);
+
+  std::vector<Lit> two(all.begin() + 1, all.end());
+  ASSERT_TRUE(solver.AddClause({Lit::Neg(grouped.table.groups[0].activation)}));
+  EXPECT_EQ(solver.SolveWithAssumptions(two), SolveResult::kSat);
+}
+
+// ---------------------------------------------------------------------------
+// net-group-hygiene pass: clean tables pass, crafted defects are caught.
+// ---------------------------------------------------------------------------
+
+std::vector<analysis::Diagnostic> HygieneFindings(const Cnf& cnf,
+                                                 const NetGroupTable& table) {
+  analysis::AnalysisInput input;
+  input.cnf = &cnf;
+  input.net_groups = &table;
+  const analysis::AnalysisReport report =
+      analysis::MakeDefaultRunner().Run(input);
+  std::vector<analysis::Diagnostic> found;
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (d.pass == "net-group-hygiene") found.push_back(d);
+  }
+  return found;
+}
+
+NetGroup MakeGroup(graph::VertexId net, Var activation, std::uint64_t begin,
+                   std::uint64_t end) {
+  NetGroup group;
+  group.net = net;
+  group.activation = activation;
+  group.clause_begin = begin;
+  group.clause_end = end;
+  return group;
+}
+
+TEST(NetGroupHygieneTest, CleanGroupedEncodePasses) {
+  const graph::Graph g = Triangle();
+  const std::vector<graph::VertexId> sequence = symmetry::SymmetrySequence(
+      g, 3, symmetry::Heuristic::kS1);
+  const GroupedEncode grouped =
+      EncodeGrouped(g, 3, GetEncoding("ITE-linear-2+muldirect"), sequence);
+  EXPECT_TRUE(HygieneFindings(grouped.cnf, grouped.table).empty());
+}
+
+TEST(NetGroupHygieneTest, CrossGuardOfKnownGroupAccepted) {
+  // Conflict-clause shape: own selector plus the partner's, both negated.
+  Cnf cnf(4);
+  cnf.AddClause({Lit::Neg(2), Lit::Pos(0)});                // group A
+  cnf.AddClause({Lit::Neg(3), Lit::Neg(2), Lit::Pos(1)});   // B, guard on A
+  NetGroupTable table;
+  table.first_activation_var = 2;
+  table.groups = {MakeGroup(0, 2, 0, 1), MakeGroup(1, 3, 1, 2)};
+  EXPECT_TRUE(HygieneFindings(cnf, table).empty());
+}
+
+TEST(NetGroupHygieneTest, MissingOwnSelectorCaught) {
+  Cnf cnf(3);
+  cnf.AddClause({Lit::Pos(0), Lit::Pos(1)});
+  NetGroupTable table;
+  table.first_activation_var = 2;
+  table.groups = {MakeGroup(0, 2, 0, 1)};
+  EXPECT_EQ(HygieneFindings(cnf, table).size(), 1u);
+}
+
+TEST(NetGroupHygieneTest, PositiveSelectorCaught) {
+  Cnf cnf(2);
+  cnf.AddClause({Lit::Pos(1), Lit::Pos(0)});
+  NetGroupTable table;
+  table.first_activation_var = 1;
+  table.groups = {MakeGroup(0, 1, 0, 1)};
+  EXPECT_EQ(HygieneFindings(cnf, table).size(), 1u);
+}
+
+TEST(NetGroupHygieneTest, SecondCrossGuardCaught) {
+  Cnf cnf(4);
+  cnf.AddClause({Lit::Neg(1), Lit::Pos(0)});
+  cnf.AddClause({Lit::Neg(2), Lit::Pos(0)});
+  cnf.AddClause({Lit::Neg(3), Lit::Neg(1), Lit::Neg(2), Lit::Pos(0)});
+  NetGroupTable table;
+  table.first_activation_var = 1;
+  table.groups = {MakeGroup(0, 1, 0, 1), MakeGroup(1, 2, 1, 2),
+                  MakeGroup(2, 3, 2, 3)};
+  EXPECT_EQ(HygieneFindings(cnf, table).size(), 1u);
+}
+
+TEST(NetGroupHygieneTest, UnknownActivationRegionVariableCaught) {
+  // A negated activation-region literal that is no group's selector is a
+  // defect even though it "looks like" a cross guard.
+  Cnf cnf(6);
+  cnf.AddClause({Lit::Neg(1), Lit::Neg(5), Lit::Pos(0)});
+  NetGroupTable table;
+  table.first_activation_var = 1;
+  table.groups = {MakeGroup(0, 1, 0, 1)};
+  EXPECT_EQ(HygieneFindings(cnf, table).size(), 1u);
+}
+
+TEST(NetGroupHygieneTest, OverlappingRangesCaught) {
+  Cnf cnf(3);
+  cnf.AddClause({Lit::Neg(1), Lit::Pos(0)});
+  cnf.AddClause({Lit::Neg(2), Lit::Pos(0)});
+  NetGroupTable table;
+  table.first_activation_var = 1;
+  table.groups = {MakeGroup(0, 1, 0, 2), MakeGroup(1, 2, 1, 2)};
+  EXPECT_FALSE(HygieneFindings(cnf, table).empty());
+}
+
+TEST(NetGroupHygieneTest, SharedActivationVariableCaught) {
+  Cnf cnf(2);
+  cnf.AddClause({Lit::Neg(1), Lit::Pos(0)});
+  cnf.AddClause({Lit::Neg(1), Lit::Neg(0)});
+  NetGroupTable table;
+  table.first_activation_var = 1;
+  table.groups = {MakeGroup(0, 1, 0, 1), MakeGroup(1, 1, 1, 2)};
+  EXPECT_FALSE(HygieneFindings(cnf, table).empty());
+}
+
+TEST(NetGroupHygieneTest, UngroupedNonUnitTouchingSelectorCaught) {
+  Cnf cnf(2);
+  cnf.AddClause({Lit::Neg(1), Lit::Pos(0)});
+  cnf.AddClause({Lit::Pos(1), Lit::Pos(0)});  // outside every group
+  NetGroupTable table;
+  table.first_activation_var = 1;
+  table.groups = {MakeGroup(0, 1, 0, 1)};
+  EXPECT_EQ(HygieneFindings(cnf, table).size(), 1u);
+}
+
+TEST(NetGroupHygieneTest, UngroupedActivationUnitsAllowed) {
+  Cnf cnf(2);
+  cnf.AddClause({Lit::Neg(1), Lit::Pos(0)});
+  cnf.AddClause({Lit::Pos(1)});   // activation toggle
+  cnf.AddClause({Lit::Neg(1)});   // retirement toggle
+  NetGroupTable table;
+  table.first_activation_var = 1;
+  table.groups = {MakeGroup(0, 1, 0, 1)};
+  EXPECT_TRUE(HygieneFindings(cnf, table).empty());
+}
+
+// ---------------------------------------------------------------------------
+// StreamingDimacsSink round trip: a grouped encode plus its activation
+// toggles survives the DIMACS detour byte-exactly and lints clean.
+// ---------------------------------------------------------------------------
+
+TEST(GroupedDimacsRoundTripTest, GroupedFormulaSurvivesDimacsAndLintsClean) {
+  Rng rng(7);
+  const graph::Graph g = testutil::RandomGraph(rng, 10, 0.3);
+  const int width = 3;
+  const EncodingSpec& spec = GetEncoding("ITE-linear-2+muldirect");
+  const std::vector<graph::VertexId> sequence = symmetry::SymmetrySequence(
+      g, width, symmetry::Heuristic::kS1);
+
+  const std::string path =
+      ::testing::TempDir() + "/net_group_roundtrip.cnf";
+  Cnf collected;
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    sat::StreamingDimacsSink dimacs(out, {"grouped encode round trip"});
+    sat::CnfCollectorSink collector(collected);
+    sat::TeeSink tee(dimacs, collector);
+    NetGroupedSink sink(tee);
+    EncodeColoringGrouped(g, width, spec, sequence, sink);
+    // Activation toggles: every group switched on, as the routing session
+    // would assume them. Emitted outside any group (unit passthrough), so
+    // each activation variable also appears positively in the file.
+    for (const NetGroup& group : sink.table().groups) {
+      sink.EmitClause({Lit::Pos(group.activation)});
+    }
+    ASSERT_TRUE(sink.Finish());
+
+    // The file's formula must lint clean as a plain DIMACS CNF.
+    const auto parsed = sat::ParseDimacsFile(path);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->num_vars(), collected.num_vars());
+    ASSERT_EQ(parsed->num_clauses(), collected.num_clauses());
+    for (std::size_t c = 0; c < collected.num_clauses(); ++c) {
+      EXPECT_EQ(parsed->clauses()[c], collected.clauses()[c]) << c;
+    }
+    analysis::AnalysisInput input;
+    input.cnf = &*parsed;
+    const analysis::AnalysisReport report =
+        analysis::MakeDefaultRunner().Run(input);
+    EXPECT_TRUE(report.diagnostics.empty())
+        << analysis::FormatText(report);
+
+    // And the round-tripped formula keeps the flat encoder's verdict: the
+    // toggles force every group active.
+    Solver parsed_solver;
+    parsed_solver.EnsureVars(parsed->num_vars());
+    bool consistent = true;
+    for (const Clause& clause : parsed->clauses()) {
+      if (!parsed_solver.AddClause(clause)) consistent = false;
+    }
+    const SolveResult round_tripped =
+        consistent ? parsed_solver.Solve() : SolveResult::kUnsat;
+
+    const EncodedColoring flat = EncodeColoring(g, width, spec, sequence);
+    Solver flat_solver;
+    flat_solver.EnsureVars(flat.cnf.num_vars());
+    for (const Clause& clause : flat.cnf.clauses()) {
+      ASSERT_TRUE(flat_solver.AddClause(clause));
+    }
+    EXPECT_EQ(round_tripped, flat_solver.Solve());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace satfr::encode

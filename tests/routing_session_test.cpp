@@ -1,0 +1,282 @@
+// Tests for the incremental routing session: lifecycle (encode once, solve
+// many widths on assumptions), rip-up/re-route semantics, the incremental
+// contract counters, error paths, the audit stream's hygiene, and the
+// randomized scripted-delta equivalence sweep against the fresh
+// extract+encode+solve flow across every evaluated encoding and symmetry
+// heuristic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "common/rng.h"
+#include "encode/registry.h"
+#include "flow/conflict_graph.h"
+#include "flow/detailed_router.h"
+#include "flow/routing_session.h"
+#include "fpga/device_graph.h"
+#include "graph/coloring_bounds.h"
+#include "graph/graph.h"
+#include "netlist/mcnc_suite.h"
+#include "route/global_router.h"
+#include "symmetry/symmetry.h"
+#include "test_util.h"
+
+namespace satfr::flow {
+namespace {
+
+using graph::VertexId;
+using sat::SolveResult;
+
+graph::Graph Triangle() {
+  graph::Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  return g;
+}
+
+/// The "tiny" MCNC instance's conflict graph — the sweep's workhorse.
+graph::Graph TinyConflictGraph() {
+  const netlist::McncBenchmark bench = netlist::GenerateMcncBenchmark("tiny");
+  const fpga::Arch arch(bench.params.grid_size);
+  const fpga::DeviceGraph device(arch);
+  const route::GlobalRouting routing =
+      route::RouteGlobally(device, bench.netlist, bench.placement);
+  return BuildConflictGraph(arch, routing);
+}
+
+/// Checks that a kSat result's tracks are a proper coloring of the
+/// session's current active graph: every active net in [0, width), every
+/// inactive net -1, endpoints of every active edge distinct.
+void ExpectValidTracks(const RoutingSession& session,
+                       const SessionSolveResult& result, int width) {
+  ASSERT_EQ(result.status, SolveResult::kSat) << result.error;
+  const graph::Graph current = session.ActiveConflictGraph();
+  ASSERT_EQ(static_cast<int>(result.tracks.size()), current.num_vertices());
+  for (VertexId v = 0; v < current.num_vertices(); ++v) {
+    if (session.NetActive(v)) {
+      EXPECT_GE(result.tracks[static_cast<std::size_t>(v)], 0) << v;
+      EXPECT_LT(result.tracks[static_cast<std::size_t>(v)], width) << v;
+    } else {
+      EXPECT_EQ(result.tracks[static_cast<std::size_t>(v)], -1) << v;
+    }
+  }
+  for (const auto& [u, v] : current.Edges()) {
+    EXPECT_NE(result.tracks[static_cast<std::size_t>(u)],
+              result.tracks[static_cast<std::size_t>(v)])
+        << "edge " << u << "-" << v;
+  }
+}
+
+TEST(RoutingSessionTest, SolvesAcrossWidthsWithoutReencoding) {
+  const graph::Graph g = TinyConflictGraph();
+  const int peak = graph::NumColorsUsed(graph::DsaturColoring(g));
+  RoutingSession session(g, peak);
+  ASSERT_TRUE(session.ok()) << session.error();
+
+  const SessionSolveResult at_peak = session.Solve(peak);
+  ExpectValidTracks(session, at_peak, peak);
+
+  // Fresh flow agrees at every width down to 1.
+  for (int width = peak; width >= 1; --width) {
+    const SessionSolveResult incremental = session.Solve(width);
+    const DetailedRouteResult fresh = RouteDetailedOnGraph(g, width);
+    EXPECT_EQ(incremental.status, fresh.status) << "width " << width;
+  }
+  EXPECT_EQ(session.session_stats().full_encodes, 1u);
+  EXPECT_EQ(session.session_stats().graph_extractions, 0u);
+}
+
+TEST(RoutingSessionTest, RipUpRelaxesAndRerouteRestores) {
+  // A triangle needs 3 tracks; drop any net and 2 suffice; re-route it with
+  // both original conflicts and 2 tracks are again too few.
+  RoutingSession session(Triangle(), 3);
+  ASSERT_TRUE(session.ok()) << session.error();
+  EXPECT_EQ(session.Solve(2).status, SolveResult::kUnsat);
+
+  ASSERT_TRUE(session.RipUp(0)) << session.error();
+  EXPECT_FALSE(session.NetActive(0));
+  EXPECT_EQ(session.num_active(), 2);
+  const SessionSolveResult relaxed = session.Solve(2);
+  ExpectValidTracks(session, relaxed, 2);
+
+  ASSERT_TRUE(session.Reroute(0, {1, 2})) << session.error();
+  EXPECT_TRUE(session.NetActive(0));
+  EXPECT_EQ(session.Solve(2).status, SolveResult::kUnsat);
+  const SessionSolveResult full = session.Solve(3);
+  ExpectValidTracks(session, full, 3);
+
+  const SessionStats& stats = session.session_stats();
+  EXPECT_EQ(stats.full_encodes, 1u);
+  EXPECT_EQ(stats.graph_extractions, 0u);
+  EXPECT_EQ(stats.deltas_applied, 2u);
+  // Only the explicit rip-up retired a group: re-routing an inactive net
+  // has nothing to retire.
+  EXPECT_EQ(stats.groups_retired, 1u);
+}
+
+TEST(RoutingSessionTest, RerouteChangesTheConflictSet) {
+  // Path 0-1-2 plus edge 0-2 = triangle; re-route 2 to conflict only with
+  // 1, making the graph a path, 2-colorable.
+  RoutingSession session(Triangle(), 3);
+  ASSERT_TRUE(session.ok()) << session.error();
+  EXPECT_EQ(session.Solve(2).status, SolveResult::kUnsat);
+  ASSERT_TRUE(session.Reroute(2, {1})) << session.error();
+
+  const graph::Graph current = session.ActiveConflictGraph();
+  EXPECT_EQ(current.num_edges(), 2u);
+  ExpectValidTracks(session, session.Solve(2), 2);
+}
+
+TEST(RoutingSessionTest, ErrorPathsLeaveSessionUsable) {
+  RoutingSession session(Triangle(), 3);
+  ASSERT_TRUE(session.ok()) << session.error();
+
+  EXPECT_FALSE(session.RipUp(-1));
+  EXPECT_FALSE(session.RipUp(99));
+  EXPECT_FALSE(session.Reroute(0, {0}));      // self-conflict
+  EXPECT_FALSE(session.Reroute(0, {1, 1}));   // duplicate partner
+  EXPECT_FALSE(session.Reroute(0, {42}));     // unknown partner
+  ASSERT_TRUE(session.RipUp(1));
+  EXPECT_FALSE(session.RipUp(1));             // already inactive
+  EXPECT_FALSE(session.Reroute(0, {1}));      // partner inactive
+
+  EXPECT_EQ(session.Solve(0).status, SolveResult::kUnknown);
+  EXPECT_EQ(session.Solve(4).status, SolveResult::kUnknown);
+  EXPECT_FALSE(session.Solve(4).error.empty());
+
+  // None of the failures corrupted the session.
+  EXPECT_TRUE(session.ok());
+  EXPECT_EQ(session.session_stats().deltas_applied, 1u);
+  ExpectValidTracks(session, session.Solve(2), 2);
+}
+
+TEST(RoutingSessionTest, AuditStreamSatisfiesNetGroupHygiene) {
+  RoutingSessionOptions options;
+  options.audit = true;
+  RoutingSession session(Triangle(), 3, options);
+  ASSERT_TRUE(session.ok()) << session.error();
+  ASSERT_TRUE(session.RipUp(0));
+  ASSERT_TRUE(session.Reroute(0, {1}));
+  ASSERT_TRUE(session.Reroute(2, {0, 1}));
+  session.Solve(3);
+
+  ASSERT_NE(session.audit_cnf(), nullptr);
+  analysis::AnalysisInput input;
+  input.cnf = session.audit_cnf();
+  input.net_groups = &session.group_table();
+  const analysis::AnalysisReport report =
+      analysis::MakeDefaultRunner().Run(input);
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    EXPECT_NE(d.pass, "net-group-hygiene") << analysis::FormatText(report);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized scripted-delta equivalence sweep: after every delta the
+// session's verdict must match a fresh extract+encode+solve of its own
+// active graph, for every evaluated encoding and symmetry heuristic.
+// ---------------------------------------------------------------------------
+
+struct ScriptedDelta {
+  bool rip_only = false;
+  VertexId net = -1;
+  std::vector<VertexId> partners;
+};
+
+/// Plans a random valid delta against the session's current state, or
+/// nothing if none is possible (all nets inactive).
+bool PlanDelta(const RoutingSession& session, Rng& rng, ScriptedDelta* out) {
+  std::vector<VertexId> active;
+  std::vector<VertexId> inactive;
+  for (VertexId v = 0; v < session.num_nets(); ++v) {
+    (session.NetActive(v) ? active : inactive).push_back(v);
+  }
+  if (!inactive.empty() && rng.NextBool(0.3)) {
+    // Revive an inactive net against a few random active partners.
+    out->rip_only = false;
+    out->net = inactive[rng.NextBelow(inactive.size())];
+    const auto order = rng.Permutation(static_cast<std::uint32_t>(
+        active.size()));
+    const std::size_t take = std::min<std::size_t>(active.size(), 3);
+    out->partners.assign(order.begin(),
+                         order.begin() + static_cast<std::ptrdiff_t>(take));
+    for (auto& p : out->partners) p = active[p];
+    return true;
+  }
+  if (active.empty()) return false;
+  out->net = active[rng.NextBelow(active.size())];
+  if (active.size() > 1 && rng.NextBool(0.5)) {
+    out->rip_only = true;
+    return true;
+  }
+  // Re-route against the current neighborhood with one conflict dropped.
+  out->rip_only = false;
+  const graph::Graph current = session.ActiveConflictGraph();
+  out->partners = current.Neighbors(out->net);
+  if (!out->partners.empty()) {
+    out->partners.erase(out->partners.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            rng.NextBelow(out->partners.size())));
+  }
+  return true;
+}
+
+TEST(RoutingSessionEquivalenceSweep, MatchesFreshFlowAcrossAllEncodings) {
+  const graph::Graph g = TinyConflictGraph();
+  const int peak = graph::NumColorsUsed(graph::DsaturColoring(g));
+  Rng root(0xf9a0b1c2d3e4f500ull);
+
+  for (const std::string& name : encode::EvaluatedEncodingNames()) {
+    for (const auto heuristic :
+         {symmetry::Heuristic::kNone, symmetry::Heuristic::kB1,
+          symmetry::Heuristic::kS1}) {
+      RoutingSessionOptions options;
+      options.encoding = encode::GetEncoding(name);
+      options.heuristic = heuristic;
+      RoutingSession session(g, peak, options);
+      ASSERT_TRUE(session.ok()) << name << ": " << session.error();
+
+      Rng rng = root.Fork();
+      for (int step = 0; step < 4; ++step) {
+        ScriptedDelta delta;
+        if (!PlanDelta(session, rng, &delta)) break;
+        if (delta.rip_only) {
+          ASSERT_TRUE(session.RipUp(delta.net))
+              << name << " step " << step << ": " << session.error();
+        } else {
+          ASSERT_TRUE(session.Reroute(delta.net, delta.partners))
+              << name << " step " << step << ": " << session.error();
+        }
+        // Probe a width near the current chromatic ceiling so both SAT and
+        // UNSAT verdicts occur along the script.
+        const graph::Graph current = session.ActiveConflictGraph();
+        const int tight =
+            std::max(1, graph::NumColorsUsed(graph::DsaturColoring(current)) -
+                            1 + static_cast<int>(rng.NextBelow(2)));
+        const int width = std::min(tight, peak);
+
+        const SessionSolveResult incremental = session.Solve(width);
+        DetailedRouteOptions fresh_options;
+        fresh_options.encoding = options.encoding;
+        fresh_options.heuristic = heuristic;
+        const DetailedRouteResult fresh =
+            RouteDetailedOnGraph(current, width, fresh_options);
+        ASSERT_EQ(incremental.status, fresh.status)
+            << name << " sym=" << static_cast<int>(heuristic) << " step "
+            << step << " width " << width;
+        if (incremental.status == SolveResult::kSat) {
+          ExpectValidTracks(session, incremental, width);
+        }
+      }
+      EXPECT_EQ(session.session_stats().full_encodes, 1u) << name;
+      EXPECT_EQ(session.session_stats().graph_extractions, 0u) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace satfr::flow

@@ -5,6 +5,11 @@
 //   satfr encodings                        list the registered encodings
 //   satfr prove  <benchmark> [opts]        find W*, prove W*-1 unroutable
 //   satfr route  <benchmark> --width W     route at a fixed channel width
+//   satfr replay <benchmark> <trace>       drive a long-lived incremental
+//                                          RoutingSession from a rip-up /
+//                                          re-route trace file (see below;
+//                                          `route <benchmark> --replay FILE`
+//                                          is an equivalent spelling)
 //   satfr export <benchmark> [opts]        write .col / .cnf artifacts
 //   satfr solve  <file.cnf> [opts]         run the CDCL solver on DIMACS CNF
 //   satfr color  <file.col> --width K      K-color a DIMACS graph via SAT
@@ -32,6 +37,15 @@
 //   --deterministic   (with --cube) pin cube order, disable stealing and
 //                     sharing; single-worker runs become bit-reproducible
 //
+// Replay trace format (one event per line; `#` starts a comment):
+//   ripup N             deactivate net N (its conflict edges disappear)
+//   reroute N p1 p2...  (re-)activate net N conflicting with nets p1 p2...
+//   solve [W]           solve the current state at width W (default:
+//                       --width, else the benchmark's peak congestion)
+// Each delta flips assumptions on the resident solver — nothing is
+// re-extracted or re-encoded — and the run ends with a per-delta latency
+// summary (p50/p99) plus the session's lifetime counters.
+//
 // Telemetry (all commands; each is independent and off by default):
 //   --trace-out FILE  write a Chrome trace_event JSON timeline (open in
 //                     Perfetto / chrome://tracing): encode/solve spans per
@@ -43,19 +57,23 @@
 //                     `satlint report FILE`
 //   --metrics-out FILE  write the global metrics registry snapshot as JSON
 //                     at exit
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "cube/cube_solver.h"
 #include "encode/registry.h"
 #include "flow/conflict_graph.h"
 #include "flow/detailed_router.h"
 #include "flow/min_width.h"
+#include "flow/routing_session.h"
 #include "flow/track_checker.h"
 #include "graph/coloring_bounds.h"
 #include "graph/dimacs_col.h"
@@ -80,6 +98,7 @@ struct CliOptions {
   std::string solver = "siege";
   std::string routing_file;
   std::string save_routing_file;
+  std::string replay_file;
   std::string dimacs_out;
   std::string trace_out;
   std::string metrics_out;
@@ -97,7 +116,8 @@ struct CliOptions {
 [[noreturn]] void Usage() {
   std::fprintf(
       stderr,
-      "usage: satfr <benchmarks|encodings|prove|route|export|solve|color> "
+      "usage: satfr "
+      "<benchmarks|encodings|prove|route|replay|export|solve|color> "
       "[args]\n"
       "  see the header of tools/satfr_cli.cpp or README.md for details\n");
   std::exit(2);
@@ -125,6 +145,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       opts.routing_file = next();
     } else if (arg == "--save-routing") {
       opts.save_routing_file = next();
+    } else if (arg == "--replay") {
+      opts.replay_file = next();
     } else if (arg == "--dimacs-out") {
       opts.dimacs_out = next();
     } else if (arg == "--trace-out") {
@@ -388,8 +410,17 @@ int CmdRouteCube(const CliOptions& opts, const LoadedBenchmark& loaded) {
   return result.status == sat::SolveResult::kUnknown ? 1 : 0;
 }
 
+int CmdReplay(const CliOptions& opts);
+
 int CmdRoute(const CliOptions& opts) {
-  if (opts.positional.empty() || opts.width < 1) Usage();
+  if (opts.positional.empty()) Usage();
+  if (!opts.replay_file.empty()) {
+    // `route <bench> --replay FILE` is sugar for `replay <bench> FILE`.
+    CliOptions replay = opts;
+    replay.positional = {opts.positional[0], opts.replay_file};
+    return CmdReplay(replay);
+  }
+  if (opts.width < 1) Usage();
   const LoadedBenchmark loaded = LoadBenchmark(opts.positional[0]);
   if (opts.cube) return CmdRouteCube(opts, loaded);
   const auto result = flow::RouteDetailedOnGraph(loaded.conflict, opts.width,
@@ -594,6 +625,124 @@ int CmdRouteFile(const CliOptions& opts) {
   return 0;
 }
 
+// Nearest-rank percentile; sorts a copy of the sample.
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+// Drives a RoutingSession from a trace file: `ripup N`, `reroute N p...`,
+// `solve [W]`, `#` comments. The whole run uses one resident solver — the
+// closing summary proves it (full encodes stays 1, extractions stay 0) and
+// gives the per-delta latency distribution.
+int CmdReplay(const CliOptions& opts) {
+  if (opts.positional.size() < 2) Usage();
+  const std::string name = opts.positional[0];
+  const std::string trace_path = opts.positional[1];
+  std::ifstream trace(trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "cannot open trace '%s'\n", trace_path.c_str());
+    return 2;
+  }
+  const LoadedBenchmark loaded = LoadBenchmark(name);
+  const std::vector<int> dsatur = graph::DsaturColoring(loaded.conflict);
+  const int dsatur_width =
+      dsatur.empty() ? 1
+                     : *std::max_element(dsatur.begin(), dsatur.end()) + 1;
+  const int default_width = opts.width > 0 ? opts.width : loaded.peak;
+  const int max_width = std::max(dsatur_width, default_width);
+
+  flow::RoutingSessionOptions session_options;
+  session_options.encoding = encode::GetEncoding(opts.encoding);
+  session_options.heuristic = symmetry::HeuristicFromName(opts.sym);
+  session_options.solver = opts.solver == "minisat"
+                               ? sat::SolverOptions::MiniSatLike()
+                               : sat::SolverOptions::SiegeLike();
+  session_options.timeout_seconds = opts.timeout;
+  session_options.run_label = name;
+
+  Stopwatch encode_watch;
+  flow::RoutingSession session(loaded.conflict, max_width, session_options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n", session.error().c_str());
+    return 2;
+  }
+  std::printf("session: %d nets, %zu conflict edges, max width %d, "
+              "encoded once in %.3fs\n",
+              session.num_nets(), loaded.conflict.num_edges(), max_width,
+              encode_watch.Seconds());
+
+  std::vector<double> delta_seconds;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(trace, line)) {
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream in(line);
+    std::string op;
+    if (!(in >> op)) continue;  // blank / comment-only line
+    auto trace_error = [&](const std::string& message) {
+      std::fprintf(stderr, "%s:%zu: %s\n", trace_path.c_str(), line_no,
+                   message.c_str());
+      return 1;
+    };
+    if (op == "ripup") {
+      graph::VertexId net = -1;
+      if (!(in >> net)) return trace_error("ripup needs a net id");
+      Stopwatch watch;
+      if (!session.RipUp(net)) return trace_error(session.error());
+      delta_seconds.push_back(watch.Seconds());
+      std::printf("ripup %d: %.0fus\n", net, delta_seconds.back() * 1e6);
+    } else if (op == "reroute") {
+      graph::VertexId net = -1;
+      if (!(in >> net)) return trace_error("reroute needs a net id");
+      std::vector<graph::VertexId> partners;
+      for (graph::VertexId u = 0; in >> u;) partners.push_back(u);
+      Stopwatch watch;
+      if (!session.Reroute(net, partners)) {
+        return trace_error(session.error());
+      }
+      delta_seconds.push_back(watch.Seconds());
+      std::printf("reroute %d (%zu conflicts): %.0fus\n", net,
+                  partners.size(), delta_seconds.back() * 1e6);
+    } else if (op == "solve") {
+      int width = default_width;
+      in >> width;  // optional; keeps the default when absent
+      const flow::SessionSolveResult result = session.Solve(width);
+      if (!result.error.empty()) return trace_error(result.error);
+      std::printf("solve W=%d: %s in %.3fs\n", width,
+                  sat::ToString(result.status), result.solve_seconds);
+    } else {
+      return trace_error("unknown trace op '" + op + "'");
+    }
+  }
+
+  const flow::SessionStats& stats = session.session_stats();
+  std::printf("deltas: %llu applied (%llu groups emitted, %llu retired, "
+              "%llu partner edges detached, %llu clauses)\n",
+              static_cast<unsigned long long>(stats.deltas_applied),
+              static_cast<unsigned long long>(stats.groups_emitted),
+              static_cast<unsigned long long>(stats.groups_retired),
+              static_cast<unsigned long long>(stats.partner_detachments),
+              static_cast<unsigned long long>(stats.delta_clauses));
+  if (!delta_seconds.empty()) {
+    std::printf("delta latency: p50 %.0fus, p99 %.0fus over %zu deltas\n",
+                Percentile(delta_seconds, 0.50) * 1e6,
+                Percentile(delta_seconds, 0.99) * 1e6,
+                delta_seconds.size());
+  }
+  std::printf("incremental contract: %llu full encode(s), %llu graph "
+              "re-extraction(s)\n",
+              static_cast<unsigned long long>(stats.full_encodes),
+              static_cast<unsigned long long>(stats.graph_extractions));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -605,6 +754,7 @@ int main(int argc, char** argv) {
   if (command == "encodings") return CmdEncodings();
   if (command == "prove") return CmdProve(opts);
   if (command == "route") return CmdRoute(opts);
+  if (command == "replay") return CmdReplay(opts);
   if (command == "export") return CmdExport(opts);
   if (command == "solve") return CmdSolve(opts);
   if (command == "color") return CmdColor(opts);

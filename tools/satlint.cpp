@@ -23,6 +23,11 @@
 //                         paper's 14; default ITE-linear-2+muldirect)
 //   --sym b1|s1|none      symmetry-breaking heuristic (default s1)
 //   --width K             colors / tracks (default: peak congestion)
+//   --grouped             (col/encode) encode through the net-grouped
+//                         streaming path (encode::EncodeColoringGrouped)
+//                         instead of the flat one, and run the
+//                         net-group-hygiene pass over the activation-
+//                         literal structure
 //   --json                machine-readable report
 //   --disable PASS        disable a pass by name (repeatable)
 //   --severity PASS=LVL   force a pass to info|warning|error (repeatable)
@@ -40,6 +45,7 @@
 
 #include "analysis/runner.h"
 #include "encode/csp_to_cnf.h"
+#include "encode/net_group.h"
 #include "obs/run_report.h"
 #include "encode/registry.h"
 #include "flow/conflict_graph.h"
@@ -60,6 +66,7 @@ struct LintOptions {
   std::string sym = "s1";
   int width = -1;
   bool json = false;
+  bool grouped = false;
   std::vector<std::string> disabled;
   std::vector<std::pair<std::string, analysis::Severity>> severities;
   std::vector<std::string> positional;
@@ -75,7 +82,7 @@ struct LintOptions {
                "  satlint report <file.jsonl>\n"
                "  satlint sources <file...>\n"
                "options: --encoding NAME|all|evaluated  --sym b1|s1|none"
-               "  --json\n"
+               "  --json  --grouped\n"
                "         --disable PASS  --severity PASS=info|warning|error\n"
                "  see the header of tools/satlint.cpp or README.md\n");
   std::exit(2);
@@ -104,6 +111,8 @@ LintOptions ParseArgs(int argc, char** argv) {
       opts.width = std::atoi(next().c_str());
     } else if (arg == "--json") {
       opts.json = true;
+    } else if (arg == "--grouped") {
+      opts.grouped = true;
     } else if (arg == "--disable") {
       opts.disabled.push_back(next());
     } else if (arg == "--severity") {
@@ -185,17 +194,32 @@ int LintEncodings(const graph::Graph& g, int width, const LintOptions& opts,
       std::fprintf(stderr, "unknown encoding '%s'\n", name.c_str());
       return 2;
     }
-    const encode::EncodedColoring encoded =
-        encode::EncodeColoring(g, width, *spec, sequence);
     analysis::AnalysisInput input;
-    input.cnf = &encoded.cnf;
     input.conflict_graph = &g;
-    input.encoded = &encoded;
     input.spec = &*spec;
     input.symmetry_sequence = &sequence;
     input.routing = routing;
-    const std::string banner =
+    std::string banner =
         name + " K=" + std::to_string(width) + " sym=" + opts.sym;
+    // Both arms materialize into `cnf`/`encoded` declared out here so the
+    // pointers stay valid through RunAndReport.
+    sat::Cnf grouped_cnf;
+    std::optional<encode::EncodedColoring> encoded;
+    encode::NetGroupTable group_table;
+    if (opts.grouped) {
+      sat::CnfCollectorSink collector(grouped_cnf);
+      encode::NetGroupedSink grouped(collector);
+      encode::EncodeColoringGrouped(g, width, *spec, sequence, grouped);
+      grouped.Finish();
+      group_table = grouped.table();
+      input.cnf = &grouped_cnf;
+      input.net_groups = &group_table;
+      banner += " grouped";
+    } else {
+      encoded.emplace(encode::EncodeColoring(g, width, *spec, sequence));
+      input.cnf = &encoded->cnf;
+      input.encoded = &*encoded;
+    }
     if (RunAndReport(runner, input, opts, banner) != 0) status = 1;
   }
   return status;
