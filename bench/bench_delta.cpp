@@ -60,6 +60,11 @@ struct InstanceResult {
   std::vector<double> fresh_encode_seconds;  // fresh: coloring + encode
   std::vector<double> fresh_solve_seconds;   // fresh: cold-solver solve
   bool equivalent = true;
+  /// First delta index where session and fresh verdicts disagreed; -1 when
+  /// the instance stayed equivalent. Surfaced in the JSON report and the
+  /// final error so a CI failure names the exact reproducer.
+  int first_mismatch_delta = -1;
+  std::string mismatch_detail;  // "session SAT != fresh UNSAT"
   flow::SessionStats stats;
 };
 
@@ -176,6 +181,12 @@ InstanceResult RunInstance(const std::string& name, int deltas,
                    name.c_str(), d, sat::ToString(incremental.status),
                    sat::ToString(fresh.status));
       out.equivalent = false;
+      if (out.first_mismatch_delta < 0) {
+        out.first_mismatch_delta = d;
+        out.mismatch_detail = std::string("session ") +
+                              sat::ToString(incremental.status) +
+                              " != fresh " + sat::ToString(fresh.status);
+      }
     }
   }
   out.stats = session.session_stats();
@@ -202,6 +213,7 @@ int main(int argc, char** argv) {
   obs::JsonArray instances;
   bool all_equivalent = true;
   bool all_fast = true;
+  std::string first_mismatch;  // "instance:delta (detail)" of the first one
   for (const std::string& name : names) {
     const InstanceResult r = RunInstance(name, deltas, timeout);
     const double apply_p50 = PercentileMs(r.apply_seconds, 0.50);
@@ -225,6 +237,11 @@ int main(int argc, char** argv) {
             : 0.0;
     all_equivalent = all_equivalent && r.equivalent;
     all_fast = all_fast && ratio < 0.10;
+    if (!r.equivalent && first_mismatch.empty()) {
+      first_mismatch = r.name + ":delta " +
+                       std::to_string(r.first_mismatch_delta) + " (" +
+                       r.mismatch_detail + ")";
+    }
 
     char buffer[32];
     auto ms = [&](double v) {
@@ -256,6 +273,8 @@ int main(int argc, char** argv) {
     o.emplace_back("median_ratio", obs::JsonValue(ratio));
     o.emplace_back("median_total_ratio", obs::JsonValue(total_ratio));
     o.emplace_back("equivalent", obs::JsonValue(r.equivalent));
+    o.emplace_back("first_mismatch_delta",
+                   obs::JsonValue(r.first_mismatch_delta));
     obs::JsonObject stats;
     stats.emplace_back("full_encodes", obs::JsonValue(r.stats.full_encodes));
     stats.emplace_back("graph_extractions",
@@ -284,8 +303,10 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out_path.c_str());
   if (!all_equivalent) {
-    std::fprintf(stderr, "bench: verdict mismatch between session and "
-                         "fresh flow\n");
+    std::fprintf(stderr,
+                 "bench: verdict mismatch between session and fresh flow, "
+                 "first at %s\n",
+                 first_mismatch.c_str());
     return 1;
   }
   (void)all_fast;  // informational here; the CI smoke asserts the ratio

@@ -8,6 +8,7 @@
 // or a full in-process encoding run.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +38,20 @@ struct SourceFile {
   std::string content;
 };
 
+/// One sampled verdict-cache audit: the routing service re-solved a cached
+/// entry's instance fresh and recorded both answers (plus a track-validity
+/// re-check for SAT verdicts). Pure data — produced by src/service/, judged
+/// by the service-cache-coherence pass, so the analysis layer never links
+/// against the service.
+struct CoherenceSample {
+  std::string key;             // CacheKey::ToString of the audited entry
+  std::string cached_verdict;  // sat::ToString of the cached status
+  std::string fresh_verdict;   // sat::ToString of the fresh re-solve
+  std::uint64_t hit_count = 0; // times the cached entry was served
+  bool tracks_checked = false; // true when the cached verdict was SAT
+  bool tracks_valid = false;   // cached tracks proper on the entry's graph
+};
+
 /// Everything a pipeline run may look at. All pointers are optional and
 /// non-owning; the encoding-contract layer needs `cnf`, `conflict_graph`,
 /// `encoded` and `spec` together. `symmetry_sequence` may stay null for
@@ -59,6 +74,9 @@ struct AnalysisInput {
   // Repository source files (`satlint sources <file...>`), scanned by the
   // source layer (mc-coverage).
   const std::vector<SourceFile>* sources = nullptr;
+  // Verdict-cache audit samples (`satfr serve --selfcheck`), judged by the
+  // service-cache-coherence pass.
+  const std::vector<CoherenceSample>* coherence_samples = nullptr;
 
   bool HasEncoding() const {
     return cnf != nullptr && conflict_graph != nullptr && encoded != nullptr &&

@@ -7,6 +7,7 @@
 #include "analysis/encoding_passes.h"
 #include "analysis/graph_passes.h"
 #include "analysis/netgroup_passes.h"
+#include "analysis/service_passes.h"
 #include "analysis/solver_passes.h"
 #include "analysis/source_passes.h"
 #include "analysis/telemetry_passes.h"
@@ -101,6 +102,7 @@ AnalysisRunner MakeDefaultRunner() {
   AddSolverPasses(runner);
   AddCubePasses(runner);
   AddTelemetryPasses(runner);
+  AddServicePasses(runner);
   AddSourcePasses(runner);
   return runner;
 }

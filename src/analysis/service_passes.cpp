@@ -1,0 +1,50 @@
+#include "analysis/service_passes.h"
+
+#include <memory>
+#include <string>
+
+#include "analysis/pass.h"
+
+namespace satfr::analysis {
+
+namespace {
+
+class ServiceCacheCoherencePass : public AnalysisPass {
+ public:
+  std::string_view name() const override { return "service-cache-coherence"; }
+  std::string_view description() const override {
+    return "sampled verdict-cache entries agree with a fresh solve";
+  }
+
+  bool Applicable(const AnalysisInput& input) const override {
+    return input.coherence_samples != nullptr;
+  }
+
+  void Run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    for (const CoherenceSample& sample : *input.coherence_samples) {
+      // A fresh UNKNOWN (the re-solve timed out) proves nothing either
+      // way; every decided disagreement is a served-wrong-answer bug.
+      if (sample.fresh_verdict != "UNKNOWN" &&
+          sample.cached_verdict != sample.fresh_verdict) {
+        sink.Report(sample.key,
+                    "cached verdict " + sample.cached_verdict +
+                        " (served " + std::to_string(sample.hit_count) +
+                        " time(s)) disagrees with fresh solve " +
+                        sample.fresh_verdict);
+      }
+      if (sample.tracks_checked && !sample.tracks_valid) {
+        sink.Report(sample.key,
+                    "cached SAT tracks are not a proper coloring of the "
+                    "entry's conflict graph");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void AddServicePasses(AnalysisRunner& runner) {
+  runner.AddPass(std::make_unique<ServiceCacheCoherencePass>());
+}
+
+}  // namespace satfr::analysis

@@ -1,0 +1,23 @@
+// Service lint pass: verdict-cache coherence.
+//
+// The routing service's verdict cache serves answers without touching a
+// solver; `RoutingService::SampleCoherence` re-solves a sampled subset of
+// resident entries fresh (no cache, same flow) and records both verdicts
+// as `CoherenceSample`s. This pass judges the samples: a cached verdict
+// disagreeing with its fresh re-solve, or a cached SAT entry whose tracks
+// are not a proper coloring of the entry's own graph, is a cache-keying or
+// eviction bug serving wrong answers at scale — error severity. Wired into
+// `satfr serve --selfcheck`.
+#pragma once
+
+#include "analysis/runner.h"
+
+namespace satfr::analysis {
+
+/// Registers the service passes:
+///   service-cache-coherence (error) sampled verdict-cache entries agree
+///                                   with a fresh solve; cached SAT tracks
+///                                   are proper colorings
+void AddServicePasses(AnalysisRunner& runner);
+
+}  // namespace satfr::analysis

@@ -46,8 +46,17 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
   encode_span.AddArg("symmetry",
                      obs::JsonValue(symmetry::ToString(options.heuristic)));
   encode_span.AddArg("width", obs::JsonValue(num_tracks));
-  const std::vector<graph::VertexId> sequence = symmetry::SymmetrySequence(
-      conflict_graph, num_tracks, options.heuristic);
+
+  // The lint passes re-walk the CNF and the RUP checker re-propagates it, so
+  // both need the materialized formula; those paths also pin the symmetry
+  // sequence to this run, so a cached encoding cannot stand in for it.
+  const bool materialize = options.selfcheck || options.verify_unsat_proof;
+  const bool reuse = options.reuse_encoding != nullptr && !materialize;
+  std::vector<graph::VertexId> sequence;
+  if (!reuse) {
+    sequence = symmetry::SymmetrySequence(conflict_graph, num_tracks,
+                                          options.heuristic);
+  }
 
   sat::Solver solver(options.solver);
   std::optional<obs::SolverTelemetryObserver> observer;
@@ -61,14 +70,18 @@ DetailedRouteResult SolveOnGraph(const graph::Graph& conflict_graph,
     solver.SetClauseExchange(options.exchange, options.exchange_participant);
   }
 
-  // The lint passes re-walk the CNF and the RUP checker re-propagates it, so
-  // both need the materialized formula; everyone else streams the encoder
-  // straight into the solver and never holds an intermediate Cnf.
-  const bool materialize = options.selfcheck || options.verify_unsat_proof;
+  // Everyone except the materialized paths streams the encoder straight into
+  // the solver and never holds an intermediate Cnf — unless a cached
+  // instance is being reused, in which case its CNF bytes are loaded as-is.
   encode::ColoringLayout layout;
   encode::EncodedColoring encoded;
   bool consistent = true;
-  if (materialize) {
+  if (reuse) {
+    const encode::EncodedColoring& pre = *options.reuse_encoding;
+    consistent = solver.AddCnf(pre.cnf);
+    layout = static_cast<const encode::ColoringLayout&>(pre);
+    result.reused_encoding = true;
+  } else if (materialize) {
     encoded = encode::EncodeColoring(conflict_graph, num_tracks,
                                      options.encoding, sequence);
     if (options.selfcheck) {

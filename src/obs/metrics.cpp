@@ -14,6 +14,27 @@ std::uint64_t NextRegistryId() {
 
 }  // namespace
 
+std::uint64_t MetricSnapshot::ApproxPercentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(count) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      if (i == 0) return 0;
+      if (i >= 64) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << i) - 1;
+    }
+  }
+  // count > sum(buckets) would be a malformed snapshot; clamp to the top.
+  return (std::uint64_t{1} << (buckets.size() - 1)) - 1;
+}
+
 const MetricSnapshot* MetricsSnapshot::Find(const std::string& name) const {
   for (const MetricSnapshot& m : metrics) {
     if (m.name == name) return &m;

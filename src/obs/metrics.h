@@ -53,6 +53,13 @@ struct MetricSnapshot {
   std::int64_t gauge = 0;               // gauges
   std::vector<std::uint64_t> buckets;   // histograms (log2 buckets)
   std::uint64_t count = 0;              // histogram total observations
+
+  /// Conservative percentile read off the log2 buckets: the inclusive upper
+  /// bound (2^i - 1) of the bucket holding the ceil(p * count)-th smallest
+  /// observation, 0 for bucket 0. At most 2x above the true percentile by
+  /// construction (except in the final clamp bucket, where it is a floor of
+  /// 2^32 - 1). Returns 0 on empty histograms and non-histogram metrics.
+  std::uint64_t ApproxPercentile(double p) const;
 };
 
 struct MetricsSnapshot {

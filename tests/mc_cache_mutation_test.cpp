@@ -1,0 +1,92 @@
+// Mutation counterpart of the cache seqlock litmus (see
+// tests/mc_mutation_test.cpp for the idea): this binary is built with
+// SATFR_MC_MUTATE_CACHE_PUBLISH_RELEASE, which weakens the seqlock
+// writer's even-generation store from release to relaxed in
+// src/service/cache.h. A reader can then acquire-load the new (even)
+// generation while the payload stores are still invisible — pairing a
+// fresh generation with stale words — and the exact litmus body that must
+// pass in tests/mc_litmus_test.cpp has to FAIL here, with a replayable
+// trail. The cache header is header-only for everything this test touches,
+// so linking only satfr_mc keeps the mutated inline definitions from
+// colliding with the healthy ones inside satfr_service.
+
+#if !defined(SATFR_MODEL_CHECK)
+#error "mc_cache_mutation_test requires a SATFR_MODEL_CHECK build"
+#endif
+#if !defined(SATFR_MC_MUTATE_CACHE_PUBLISH_RELEASE)
+#error "mc_cache_mutation_test requires SATFR_MC_MUTATE_CACHE_PUBLISH_RELEASE"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "mc/model_check.h"
+#include "service/cache.h"
+
+namespace satfr {
+namespace {
+
+// Identical to SeqlockNoTornNoStaleBody in tests/mc_litmus_test.cpp.
+void SeqlockNoTornNoStaleBody() {
+  auto slot =
+      std::make_shared<service::SeqlockedSlot<service::VerdictSummary>>();
+  mc::Thread writer([slot] {
+    for (std::int32_t i = 1; i <= 2; ++i) {
+      service::VerdictSummary s;
+      s.key_hash = 100 + static_cast<std::uint64_t>(i);
+      s.status = i;
+      s.width = 10 * i;
+      s.cold_solve_seconds = i;
+      slot->Publish(s);
+    }
+  });
+  mc::Thread reader([slot] {
+    service::VerdictSummary out;
+    for (int round = 0; round < 3; ++round) {
+      if (slot->TryRead(&out)) {
+        const std::int32_t i = out.status;
+        MC_CHECK(i == 1 || i == 2, "stale read: unpublished payload");
+        MC_CHECK(out.key_hash == 100 + static_cast<std::uint64_t>(i),
+                 "torn read: key from a different publish");
+        MC_CHECK(out.width == 10 * i,
+                 "torn read: width from a different publish");
+        MC_CHECK(out.cold_solve_seconds == static_cast<double>(i),
+                 "torn read: timing from a different publish");
+      }
+      mc::Yield();
+    }
+  });
+  writer.Join();
+  reader.Join();
+  service::VerdictSummary final_read;
+  MC_CHECK(slot->TryRead(&final_read), "settled slot unreadable");
+  MC_CHECK(final_read.status == 2 && final_read.key_hash == 102 &&
+               final_read.width == 20,
+           "settled slot lost the last publish");
+}
+
+TEST(McMutation, CatchesRelaxedSeqlockPublish) {
+  mc::ModelCheckOptions opts;
+  opts.max_preemptions = 2;
+  opts.max_stale_reads = 2;
+  opts.max_exhaustive_schedules = 10000;
+  opts.random_schedules = 1000;
+  const mc::ModelCheckResult res = mc::Check(SeqlockNoTornNoStaleBody, opts);
+  ASSERT_FALSE(res.ok)
+      << "checker did NOT catch the relaxed seqlock publish";
+  EXPECT_NE(res.failure.find("MC_CHECK failed"), std::string::npos)
+      << res.failure;
+  ASSERT_FALSE(res.failing_trail.empty());
+
+  mc::ModelCheckOptions replay;
+  replay.replay_trail = res.failing_trail;
+  const mc::ModelCheckResult again = mc::Check(SeqlockNoTornNoStaleBody,
+                                               replay);
+  ASSERT_FALSE(again.ok) << "failing trail replayed clean";
+  EXPECT_EQ(again.failure, res.failure);
+}
+
+}  // namespace
+}  // namespace satfr

@@ -19,9 +19,19 @@ the pool does not collapse (0.45x allows thread-churn overhead).
 Timed-out cells make a speedup unmeasurable; such instances never pass but
 only fail the gate when too few measurable instances remain.
 
+The same script also gates bench_service reports (BENCH_pr10.json,
+recognised by "bench": "service"). There the acceptance number is the
+batched-service throughput against the sequential cold-solve baseline
+("speedup_vs_sequential", floor SERVICE_TARGET_SPEEDUP), plus — when the
+report swept more than one worker count — the 1-worker to max-worker
+solves/sec scaling under the same per-core floor formula. Verdict
+equivalence between the service and fresh solves is a correctness gate and
+fails even in report-only mode.
+
 On a machine without real parallelism (hardware_concurrency < 2) no
 speedup measurement means anything — every number is scheduler noise — so
 the script reports the numbers but always exits 0 (report-only mode).
+Correctness checks still gate.
 
 Usage: check_parallel_speedup.py <report.json> [min_passing]
 Exits nonzero when fewer than `min_passing` (default 2) instances reach the
@@ -31,7 +41,73 @@ import json
 import sys
 
 TARGET_SPEEDUP = 2.5
+SERVICE_TARGET_SPEEDUP = 2.0
 PER_CORE_FRACTION = 0.45
+
+
+def scaled_floor(target: float, max_workers: int, cores: int) -> float:
+    effective = min(max_workers, cores)
+    if effective >= max_workers:
+        return target
+    return max(PER_CORE_FRACTION, PER_CORE_FRACTION * effective)
+
+
+def check_service(report: dict) -> int:
+    scaling = report.get("scaling", [])
+    if not scaling:
+        print("FAIL: service report has no scaling runs")
+        return 1
+    cores = max(1, int(report.get("hardware_concurrency", 1)))
+    max_workers = int(scaling[-1]["workers"])
+    failures = []
+
+    if not report.get("equivalent", False):
+        where = report.get("first_mismatch", "unknown")
+        print(f"FAIL: service verdicts diverged from fresh solves "
+              f"(first at {where})")
+        return 1
+    print("ok equivalence: service verdicts match fresh solves")
+
+    hit_ratio = float(report.get("verdict_hit_ratio", 0.0))
+    if hit_ratio <= 0.0:
+        failures.append("verdict cache never hit")
+    print(f"{'ok' if hit_ratio > 0.0 else 'LOW'} verdict cache hit "
+          f"ratio: {hit_ratio:.1%}")
+
+    batch_floor = scaled_floor(SERVICE_TARGET_SPEEDUP, max_workers, cores)
+    batch = float(report.get("speedup_vs_sequential", 0.0))
+    if batch < batch_floor:
+        failures.append(f"batched speedup {batch:.2f}x below "
+                        f"floor {batch_floor:.2f}x")
+    print(f"{'ok' if batch >= batch_floor else 'LOW'} batched vs "
+          f"sequential: {batch:.2f}x (floor {batch_floor:.2f}x, "
+          f"cores={cores})")
+
+    if len(scaling) >= 2:
+        base = float(scaling[0]["solves_per_sec"])
+        top = float(scaling[-1]["solves_per_sec"])
+        scale = top / base if base > 0.0 else 0.0
+        floor = scaled_floor(SERVICE_TARGET_SPEEDUP, max_workers, cores)
+        if scale < floor:
+            failures.append(f"worker scaling {scale:.2f}x below "
+                            f"floor {floor:.2f}x")
+        print(f"{'ok' if scale >= floor else 'LOW'} worker scaling: "
+              f"x{scaling[0]['workers']} {base:.1f}/s -> "
+              f"x{max_workers} {top:.1f}/s = {scale:.2f}x "
+              f"(floor {floor:.2f}x)")
+    else:
+        print(f"skip worker scaling: single run at "
+              f"x{max_workers} (need a sweep)")
+
+    if failures:
+        if cores < 2:
+            print(f"REPORT-ONLY: {'; '.join(failures)} — but only "
+                  f"{cores} hardware thread(s) were available, not gating")
+            return 0
+        print(f"FAIL: {'; '.join(failures)}")
+        return 1
+    print("PASS: service throughput gates met")
+    return 0
 
 
 def main() -> int:
@@ -41,6 +117,9 @@ def main() -> int:
     with open(sys.argv[1]) as f:
         report = json.load(f)
     min_passing = int(sys.argv[2]) if len(sys.argv) == 3 else 2
+
+    if report.get("bench") == "service":
+        return check_service(report)
 
     workers = report["workers"]
     cores = max(1, int(report.get("hardware_concurrency", 1)))

@@ -17,6 +17,12 @@
 //                                          file (optionally --routing FILE
 //                                          to reuse a saved global routing,
 //                                          --save-routing FILE to save one)
+//   satfr serve <trace>                    drive the batched routing
+//                                          service from a traffic trace
+//                                          file (see below); --workers N
+//                                          sizes the pool, --selfcheck
+//                                          audits the verdict cache against
+//                                          fresh solves at shutdown
 //
 // Common options:
 //   --encoding NAME   (default ITE-linear-2+muldirect)
@@ -46,6 +52,21 @@
 // re-extracted or re-encoded — and the run ends with a per-delta latency
 // summary (p50/p99) plus the session's lifetime counters.
 //
+// Serve trace format (one event per line; `#` starts a comment):
+//   route <benchmark> <width> [k=v...]  submit one routing query; optional
+//                       k=v tokens: prio=N (scheduler priority), enc=NAME,
+//                       sym=b1|s1|none, solver=siege|minisat
+//   session <client> <benchmark> [maxwidth]  open an incremental session
+//                       for <client> (encoded once, pinned to one worker)
+//   ripup <client> <net>                rip up net in the client's session
+//   reroute <client> <net> [p1 p2...]   re-route net against partners
+//   solve <client> [width]              solve the client's session state
+//   wait                                barrier: settle everything queued
+//                                       so far and print the results
+// Routing queries are submitted asynchronously — everything between two
+// `wait` lines runs as one batch on the worker pool. The run ends with a
+// throughput/latency summary and the cache hit counters.
+//
 // Telemetry (all commands; each is independent and off by default):
 //   --trace-out FILE  write a Chrome trace_event JSON timeline (open in
 //                     Perfetto / chrome://tracing): encode/solve spans per
@@ -65,8 +86,10 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "analysis/runner.h"
 #include "common/stopwatch.h"
 #include "cube/cube_solver.h"
 #include "encode/registry.h"
@@ -87,6 +110,7 @@
 #include "sat/clause_sink.h"
 #include "sat/dimacs.h"
 #include "sat/walksat.h"
+#include "service/routing_service.h"
 
 namespace {
 
@@ -117,7 +141,7 @@ struct CliOptions {
   std::fprintf(
       stderr,
       "usage: satfr "
-      "<benchmarks|encodings|prove|route|replay|export|solve|color> "
+      "<benchmarks|encodings|prove|route|replay|export|solve|color|serve> "
       "[args]\n"
       "  see the header of tools/satfr_cli.cpp or README.md for details\n");
   std::exit(2);
@@ -743,6 +767,216 @@ int CmdReplay(const CliOptions& opts) {
   return 0;
 }
 
+int CmdServe(const CliOptions& opts) {
+  if (opts.positional.empty()) Usage();
+  const std::string trace_path = opts.positional[0];
+  std::ifstream trace(trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "cannot open trace '%s'\n", trace_path.c_str());
+    return 2;
+  }
+
+  service::ServiceOptions service_options;
+  service_options.scheduler.num_workers = std::max(1, opts.workers);
+  service_options.timeout_seconds = opts.timeout;
+  service::RoutingService svc(service_options);
+  std::printf("serve: %d worker(s), trace %s\n", svc.num_workers(),
+              trace_path.c_str());
+
+  // Benchmarks load lazily, once, and their conflict graphs are shared
+  // (the service keys its caches on the graph fingerprint, not identity).
+  std::unordered_map<std::string, std::shared_ptr<const graph::Graph>> graphs;
+  std::unordered_map<std::string, int> peaks;
+  auto graph_for = [&](const std::string& name)
+      -> std::shared_ptr<const graph::Graph> {
+    const auto it = graphs.find(name);
+    if (it != graphs.end()) return it->second;
+    const LoadedBenchmark loaded = LoadBenchmark(name);
+    auto shared = std::make_shared<graph::Graph>(loaded.conflict);
+    graphs.emplace(name, shared);
+    peaks.emplace(name, loaded.peak);
+    return shared;
+  };
+
+  struct Outstanding {
+    service::RoutingService::Ticket ticket;
+    std::string what;
+  };
+  std::vector<Outstanding> outstanding;
+  std::vector<double> route_latency;
+  std::size_t routes = 0, session_ops = 0, failures = 0;
+  Stopwatch wall;
+
+  auto settle = [&]() {
+    for (const Outstanding& out : outstanding) {
+      const service::Response& r = svc.Wait(out.ticket);
+      if (!r.ok) {
+        ++failures;
+        std::printf("%s: error: %s\n", out.what.c_str(), r.error.c_str());
+        continue;
+      }
+      if (r.kind == service::RequestKind::kRoute) {
+        route_latency.push_back(r.latency_seconds);
+        std::printf("%s: %s in %.0fus%s%s%s%s\n", out.what.c_str(),
+                    sat::ToString(r.status), r.latency_seconds * 1e6,
+                    r.summary_hit ? " [summary]" : "",
+                    r.verdict_hit && !r.summary_hit ? " [verdict]" : "",
+                    r.instance_hit ? " [instance]" : "",
+                    r.cancelled ? " [cancelled]" : "");
+      } else {
+        std::printf("%s: %s%.0fus\n", out.what.c_str(),
+                    r.kind == service::RequestKind::kSessionSolve
+                        ? (std::string(sat::ToString(r.status)) + " in ").c_str()
+                        : "",
+                    (r.kind == service::RequestKind::kSessionSolve
+                         ? r.latency_seconds
+                         : r.apply_seconds) * 1e6);
+      }
+    }
+    outstanding.clear();
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(trace, line)) {
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream in(line);
+    std::string op;
+    if (!(in >> op)) continue;
+    auto trace_error = [&](const std::string& message) {
+      std::fprintf(stderr, "%s:%zu: %s\n", trace_path.c_str(), line_no,
+                   message.c_str());
+      return 1;
+    };
+    if (op == "route") {
+      std::string bench;
+      int width = -1;
+      if (!(in >> bench >> width) || width < 1) {
+        return trace_error("route needs '<benchmark> <width>'");
+      }
+      service::RouteRequest request;
+      request.label = bench;
+      request.graph = graph_for(bench);
+      request.width = width;
+      request.encoding = "muldirect";
+      request.symmetry = opts.sym == "s1" ? "s1" : opts.sym;
+      request.solver = opts.solver;
+      for (std::string kv; in >> kv;) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          return trace_error("route option '" + kv + "' is not key=value");
+        }
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "prio") {
+          request.priority = std::atoi(value.c_str());
+        } else if (key == "enc") {
+          request.encoding = value;
+        } else if (key == "sym") {
+          request.symmetry = value;
+        } else if (key == "solver") {
+          request.solver = value;
+        } else {
+          return trace_error("unknown route option '" + key + "'");
+        }
+      }
+      ++routes;
+      outstanding.push_back({svc.Submit(std::move(request)),
+                             bench + " W=" + std::to_string(width)});
+    } else if (op == "session") {
+      std::string client, bench;
+      if (!(in >> client >> bench)) {
+        return trace_error("session needs '<client> <benchmark>'");
+      }
+      const std::shared_ptr<const graph::Graph> g = graph_for(bench);
+      int max_width = 0;
+      if (!(in >> max_width)) max_width = peaks[bench] + 1;
+      std::string error;
+      if (!svc.OpenSession(client, g, max_width, "muldirect", "none",
+                           &error)) {
+        return trace_error("session '" + client + "': " + error);
+      }
+      std::printf("session %s: %s at max width %d\n", client.c_str(),
+                  bench.c_str(), max_width);
+    } else if (op == "ripup") {
+      std::string client;
+      graph::VertexId net = -1;
+      if (!(in >> client >> net)) {
+        return trace_error("ripup needs '<client> <net>'");
+      }
+      ++session_ops;
+      outstanding.push_back({svc.SubmitRipUp(client, net),
+                             client + " ripup " + std::to_string(net)});
+    } else if (op == "reroute") {
+      std::string client;
+      graph::VertexId net = -1;
+      if (!(in >> client >> net)) {
+        return trace_error("reroute needs '<client> <net>'");
+      }
+      std::vector<graph::VertexId> partners;
+      for (graph::VertexId u = 0; in >> u;) partners.push_back(u);
+      ++session_ops;
+      outstanding.push_back(
+          {svc.SubmitReroute(client, net, std::move(partners)),
+           client + " reroute " + std::to_string(net)});
+    } else if (op == "solve") {
+      std::string client;
+      if (!(in >> client)) return trace_error("solve needs '<client>'");
+      int width = 0;
+      in >> width;  // 0: the session solves at its max width
+      ++session_ops;
+      outstanding.push_back({svc.SubmitSessionSolve(client, width),
+                             client + " solve"});
+    } else if (op == "wait") {
+      settle();
+    } else {
+      return trace_error("unknown trace op '" + op + "'");
+    }
+  }
+  settle();
+  svc.Drain();
+  const double elapsed = wall.Seconds();
+
+  const service::ServiceStats stats = svc.stats();
+  std::printf("served %zu route(s), %zu session op(s) in %.3fs (%.1f "
+              "requests/s), %zu failure(s)\n",
+              routes, session_ops, elapsed,
+              elapsed > 0 ? (routes + session_ops) / elapsed : 0.0,
+              failures);
+  if (!route_latency.empty()) {
+    std::printf("route latency: p50 %.0fus, p95 %.0fus, p99 %.0fus\n",
+                Percentile(route_latency, 0.50) * 1e6,
+                Percentile(route_latency, 0.95) * 1e6,
+                Percentile(route_latency, 0.99) * 1e6);
+  }
+  std::printf("verdict cache: %llu/%llu hit(s) (+%llu lock-free summary), "
+              "%llu resident; instance cache: %llu/%llu hit(s), %llu "
+              "resident\n",
+              static_cast<unsigned long long>(stats.verdicts.hits),
+              static_cast<unsigned long long>(stats.verdicts.lookups),
+              static_cast<unsigned long long>(stats.summary_hits),
+              static_cast<unsigned long long>(stats.verdicts.entries),
+              static_cast<unsigned long long>(stats.instances.hits),
+              static_cast<unsigned long long>(stats.instances.lookups),
+              static_cast<unsigned long long>(stats.instances.entries));
+
+  if (opts.selfcheck) {
+    const std::vector<analysis::CoherenceSample> samples =
+        svc.SampleCoherence(/*max_samples=*/8);
+    analysis::AnalysisInput input;
+    input.coherence_samples = &samples;
+    const analysis::AnalysisReport lint =
+        analysis::MakeDefaultRunner().Run(input);
+    std::printf("selfcheck: %zu verdict(s) re-solved\n%s", samples.size(),
+                analysis::FormatText(lint).c_str());
+    if (lint.Count(analysis::Severity::kError) > 0) return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -759,5 +993,6 @@ int main(int argc, char** argv) {
   if (command == "solve") return CmdSolve(opts);
   if (command == "color") return CmdColor(opts);
   if (command == "route-file") return CmdRouteFile(opts);
+  if (command == "serve") return CmdServe(opts);
   Usage();
 }
